@@ -1,0 +1,80 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. One benchmark per experiment; each reports the same rows
+// the corresponding figure plots (run with -v to see them once).
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks default to the small scale so the full suite runs in
+// minutes; set TIFS_BENCH_SCALE=medium or full for paper-sized runs.
+package tifs_test
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"tifs"
+)
+
+func benchScale(b *testing.B) tifs.Scale {
+	b.Helper()
+	name := os.Getenv("TIFS_BENCH_SCALE")
+	if name == "" {
+		return tifs.ScaleSmall
+	}
+	s, err := tifs.ParseScale(name)
+	if err != nil {
+		b.Fatalf("TIFS_BENCH_SCALE: %v", err)
+	}
+	return s
+}
+
+var benchOutputOnce sync.Map
+
+// runExperiment executes one experiment b.N times, logging its table on
+// the first execution of each benchmark.
+func runExperiment(b *testing.B, id string) {
+	o := tifs.ExperimentOptions{Scale: benchScale(b)}
+	for i := 0; i < b.N; i++ {
+		out, err := tifs.RunExperiment(id, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, logged := benchOutputOnce.LoadOrStore(id, true); !logged {
+			b.Log("\n" + out)
+		}
+	}
+}
+
+func BenchmarkTable1Workloads(b *testing.B)   { runExperiment(b, "table1") }
+func BenchmarkTable2System(b *testing.B)      { runExperiment(b, "table2") }
+func BenchmarkFig1Opportunity(b *testing.B)   { runExperiment(b, "fig1") }
+func BenchmarkFig3Repetition(b *testing.B)    { runExperiment(b, "fig3") }
+func BenchmarkFig5StreamLength(b *testing.B)  { runExperiment(b, "fig5") }
+func BenchmarkFig6Heuristics(b *testing.B)    { runExperiment(b, "fig6") }
+func BenchmarkFig10Lookahead(b *testing.B)    { runExperiment(b, "fig10") }
+func BenchmarkFig11IMLCapacity(b *testing.B)  { runExperiment(b, "fig11") }
+func BenchmarkFig12Traffic(b *testing.B)      { runExperiment(b, "fig12") }
+func BenchmarkFig13Performance(b *testing.B)  { runExperiment(b, "fig13") }
+func BenchmarkAblationSVB(b *testing.B)       { runExperiment(b, "ablation-svb") }
+func BenchmarkAblationEOS(b *testing.B)       { runExperiment(b, "ablation-eos") }
+func BenchmarkAblationDrops(b *testing.B)     { runExperiment(b, "ablation-drops") }
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (events per
+// second) on the baseline configuration.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	spec, err := tifs.WorkloadByName("OLTP-DB2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		r := tifs.Simulate(spec, tifs.ScaleSmall, tifs.SimConfig{
+			EventsPerCore: 50_000,
+			Mechanism:     tifs.NextLineOnly(),
+		})
+		events += r.TotalEvents
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}

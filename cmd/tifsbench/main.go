@@ -1,0 +1,64 @@
+// Command tifsbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	tifsbench -experiment fig13 -scale medium
+//	tifsbench -experiment all -scale small -workloads OLTP-DB2,Web-Apache
+//	tifsbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tifs"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (see -list) or 'all'")
+		scaleName  = flag.String("scale", "small", "workload scale: small|medium|full")
+		workloads  = flag.String("workloads", "", "comma-separated workload subset (default: all six)")
+		events     = flag.Uint64("events", 0, "override per-core event budget (0 = scale default)")
+		cores      = flag.Int("cores", 4, "number of cores")
+		list       = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range tifs.Experiments() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+
+	scale, err := tifs.ParseScale(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	o := tifs.ExperimentOptions{Scale: scale, Events: *events, Cores: *cores}
+	if *workloads != "" {
+		for _, w := range strings.Split(*workloads, ",") {
+			name := strings.TrimSpace(w)
+			if _, err := tifs.WorkloadByName(name); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			o.Workloads = append(o.Workloads, name)
+		}
+	}
+
+	if *experiment == "all" {
+		fmt.Print(tifs.RunAllExperiments(o))
+		return
+	}
+	out, err := tifs.RunExperiment(*experiment, o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Print(out)
+}

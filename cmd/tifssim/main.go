@@ -1,0 +1,94 @@
+// Command tifssim runs a single simulation configuration and prints a
+// detailed report: cycles, IPC, fetch-stall share, coverage, discards,
+// and the L2 traffic ledger.
+//
+// Usage:
+//
+//	tifssim -workload OLTP-Oracle -scale medium -mechanism tifs-virtualized
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tifs"
+)
+
+func mechanismByName(name string) (tifs.Mechanism, error) {
+	switch name {
+	case "next-line", "baseline":
+		return tifs.NextLineOnly(), nil
+	case "fdip":
+		return tifs.FDIP(), nil
+	case "discontinuity":
+		return tifs.Discontinuity(), nil
+	case "tifs", "tifs-unbounded":
+		return tifs.TIFS(tifs.TIFSUnbounded()), nil
+	case "tifs-dedicated":
+		return tifs.TIFS(tifs.TIFSDedicated()), nil
+	case "tifs-virtualized":
+		return tifs.TIFS(tifs.TIFSVirtualized()), nil
+	case "perfect":
+		return tifs.Perfect(), nil
+	default:
+		return tifs.Mechanism{}, fmt.Errorf("unknown mechanism %q", name)
+	}
+}
+
+func main() {
+	var (
+		name      = flag.String("workload", "OLTP-DB2", "workload name")
+		scaleName = flag.String("scale", "small", "small|medium|full")
+		mechName  = flag.String("mechanism", "tifs-dedicated", "next-line|fdip|discontinuity|tifs-unbounded|tifs-dedicated|tifs-virtualized|perfect")
+		events    = flag.Uint64("events", 0, "per-core events (0 = scale default)")
+		cores     = flag.Int("cores", 4, "number of cores")
+		baseline  = flag.Bool("baseline", true, "also run the next-line baseline and report speedup")
+	)
+	flag.Parse()
+
+	spec, err := tifs.WorkloadByName(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	scale, err := tifs.ParseScale(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	mech, err := mechanismByName(*mechName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := tifs.SimConfig{Cores: *cores, EventsPerCore: *events, Mechanism: mech}
+	r := tifs.Simulate(spec, scale, cfg)
+
+	fmt.Printf("workload:   %s (%s scale, %d cores)\n", r.Workload, scale, *cores)
+	fmt.Printf("mechanism:  %s\n", r.Mechanism)
+	fmt.Printf("cycles:     %d (makespan)\n", r.Cycles)
+	fmt.Printf("instrs:     %d   IPC: %.3f\n", r.TotalInstrs, r.IPC())
+	fmt.Printf("fetch stall: %.1f%% of cycles\n", 100*r.FetchStallShare())
+	fmt.Printf("coverage:   %.1f%%   discards: %.1f%%\n", 100*r.Coverage(), 100*r.DiscardFrac())
+	fmt.Printf("prefetch:   issued=%d timely=%d late=%d\n",
+		r.Prefetch.Issued, r.Prefetch.HitsTimely, r.Prefetch.HitsLate)
+	if r.TIFS != nil {
+		fmt.Printf("tifs:       streams=%d lookups=%d indexMisses=%d pauses=%d resumes=%d\n",
+			r.TIFS.StreamsAllocated, r.TIFS.IndexLookups, r.TIFS.IndexMisses,
+			r.TIFS.Pauses, r.TIFS.Resumes)
+	}
+	var useful uint64
+	for _, s := range r.PerCore {
+		useful += s.PrefetchHits
+	}
+	fmt.Printf("L2 traffic overhead: %.1f%% of base\n", 100*r.Traffic.OverheadFrac(useful))
+
+	if *baseline && mech.Kind != "none" {
+		base := tifs.Simulate(spec, scale, tifs.SimConfig{
+			Cores: *cores, EventsPerCore: *events, Mechanism: tifs.NextLineOnly(),
+		})
+		fmt.Printf("speedup over next-line: %.3f\n", r.SpeedupOver(base))
+	}
+}

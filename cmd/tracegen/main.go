@@ -1,0 +1,111 @@
+// Command tracegen generates workload fetch-event or miss traces and
+// writes them in the binary trace format of internal/trace.
+//
+// Usage:
+//
+//	tracegen -workload OLTP-DB2 -scale small -events 200000 -core 0 \
+//	         -kind misses -o oltp-db2.misses
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tifs"
+	"tifs/internal/isa"
+	"tifs/internal/trace"
+)
+
+func main() {
+	var (
+		name      = flag.String("workload", "OLTP-DB2", "workload name")
+		scaleName = flag.String("scale", "small", "workload scale: small|medium|full")
+		events    = flag.Uint64("events", 0, "events to trace (0 = scale default)")
+		coreID    = flag.Int("core", 0, "which core's stream to trace")
+		cores     = flag.Int("cores", 4, "number of cores to build")
+		kind      = flag.String("kind", "events", "trace kind: events|misses")
+		out       = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	spec, err := tifs.WorkloadByName(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	scale, err := tifs.ParseScale(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *events == 0 {
+		*events = scale.DefaultEvents()
+	}
+	if *coreID < 0 || *coreID >= *cores {
+		fmt.Fprintf(os.Stderr, "core %d out of range\n", *coreID)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	gen := tifs.BuildWorkload(spec, scale, *cores)
+	src := gen.Sources()[*coreID]
+
+	switch *kind {
+	case "events":
+		ew, err := trace.NewEventWriter(w)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for i := uint64(0); i < *events; i++ {
+			ev, ok := src.Next()
+			if !ok {
+				break
+			}
+			if err := ew.Write(ev); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if err := ew.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d events\n", ew.Count())
+	case "misses":
+		mw, err := trace.NewMissWriter(w)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var writeErr error
+		e := trace.NewExtractor(trace.ExtractorConfig{}, func(m trace.MissRecord) {
+			if writeErr == nil {
+				writeErr = mw.Write(m)
+			}
+		})
+		e.Run(isa.EventSource(src), *events)
+		if writeErr == nil {
+			writeErr = mw.Flush()
+		}
+		if writeErr != nil {
+			fmt.Fprintln(os.Stderr, writeErr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d misses\n", mw.Count())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,38 @@
+// Quickstart: build a workload, measure its instruction-miss repetition,
+// and compare TIFS against the next-line baseline — the paper's story in
+// three calls.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tifs"
+)
+
+func main() {
+	spec, err := tifs.WorkloadByName("OLTP-DB2")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. The opportunity: how repetitive are this workload's L1-I misses?
+	w := tifs.BuildWorkload(spec, tifs.ScaleSmall, 1)
+	misses := tifs.ExtractMisses(w, 0, 300_000)
+	cat := tifs.Categorize(tifs.MissBlocks(misses))
+	fmt.Printf("%s: %d misses, %.1f%% repeat a prior stream (%.1f%% eliminable)\n",
+		spec.Name, len(misses), 100*cat.RepetitiveFrac(), 100*cat.OpportunityFrac())
+
+	// 2. The mechanism: run the 4-core CMP with and without TIFS.
+	base := tifs.Simulate(spec, tifs.ScaleSmall, tifs.SimConfig{Mechanism: tifs.NextLineOnly()})
+	withTIFS := tifs.Simulate(spec, tifs.ScaleSmall, tifs.SimConfig{
+		Mechanism: tifs.TIFS(tifs.TIFSDedicated()),
+	})
+
+	// 3. The result.
+	fmt.Printf("baseline:  %d cycles (%.1f%% fetch stalls)\n",
+		base.Cycles, 100*base.FetchStallShare())
+	fmt.Printf("with TIFS: %d cycles (%.1f%% fetch stalls, %.1f%% miss coverage)\n",
+		withTIFS.Cycles, 100*withTIFS.FetchStallShare(), 100*withTIFS.Coverage())
+	fmt.Printf("speedup:   %.3fx\n", withTIFS.SpeedupOver(base))
+}

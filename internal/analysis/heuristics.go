@@ -1,0 +1,150 @@
+package analysis
+
+import "tifs/internal/isa"
+
+// Stream lookup heuristic names (Fig. 6).
+const (
+	// PolicyFirst associates a head address with the first stream ever
+	// observed to start there.
+	PolicyFirst = "First"
+	// PolicyDigram keys lookup on the head address plus the following
+	// miss address.
+	PolicyDigram = "Digram"
+	// PolicyRecent re-associates a head address with its most recent
+	// occurrence — the policy TIFS implements in hardware.
+	PolicyRecent = "Recent"
+	// PolicyLongest picks, among all remembered prior occurrences of the
+	// head, the one whose continuation matches longest. Hardware cannot
+	// implement it (length is known only after the fact); it upper-bounds
+	// the single-lookup policies.
+	PolicyLongest = "Longest"
+)
+
+// Policies lists the Fig. 6 heuristics in presentation order.
+func Policies() []string {
+	return []string{PolicyFirst, PolicyDigram, PolicyRecent, PolicyLongest}
+}
+
+// HeuristicResult reports the coverage of one lookup policy on a trace.
+type HeuristicResult struct {
+	// Policy is the heuristic name.
+	Policy string
+	// Covered is the number of misses predicted by following a
+	// previously recorded stream.
+	Covered uint64
+	// Total is the trace length.
+	Total uint64
+}
+
+// Coverage returns Covered/Total (0 for empty traces).
+func (r HeuristicResult) Coverage() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Covered) / float64(r.Total)
+}
+
+// longestOccs bounds the per-address occurrence memory of PolicyLongest.
+const longestOccs = 12
+
+// longestMatchCap bounds how far forward match lengths are compared.
+const longestMatchCap = 512
+
+// EvaluateHeuristic replays the miss sequence under one lookup policy and
+// counts covered misses. The replay models stream following the way the
+// hardware does: while a stream is active and predicts the next miss, the
+// miss is covered and the stream advances; on a mismatch the policy
+// performs a fresh lookup on the missing address.
+func EvaluateHeuristic(policy string, seq []isa.Block) HeuristicResult {
+	res := HeuristicResult{Policy: policy, Total: uint64(len(seq))}
+
+	first := make(map[isa.Block]int)
+	recent := make(map[isa.Block]int)
+	type dkey struct{ a, b isa.Block }
+	digram := make(map[dkey]int)
+	occs := make(map[isa.Block][]int)
+
+	matchLen := func(p, i int) int {
+		n := 0
+		for n < longestMatchCap && p+n < len(seq) && i+n < len(seq) && seq[p+n] == seq[i+n] {
+			n++
+		}
+		return n
+	}
+
+	lookup := func(i int) int {
+		m := seq[i]
+		switch policy {
+		case PolicyFirst:
+			if p, ok := first[m]; ok {
+				return p
+			}
+		case PolicyRecent:
+			if p, ok := recent[m]; ok {
+				return p
+			}
+		case PolicyDigram:
+			if i+1 < len(seq) {
+				if p, ok := digram[dkey{m, seq[i+1]}]; ok {
+					return p
+				}
+			}
+		case PolicyLongest:
+			best, bestLen := -1, 0
+			for _, p := range occs[m] {
+				if l := matchLen(p+1, i+1); l > bestLen {
+					best, bestLen = p, l
+				}
+			}
+			if best >= 0 {
+				return best
+			}
+		default:
+			panic("analysis: unknown policy " + policy)
+		}
+		return -1
+	}
+
+	// cursor is the history position the active stream predicts next; it
+	// is always strictly behind the position being processed (lookups
+	// only ever return already-recorded positions).
+	cursor := -1
+	for i, m := range seq {
+		if cursor >= 0 && seq[cursor] == m {
+			res.Covered++
+			cursor++
+		} else {
+			if p := lookup(i); p >= 0 {
+				cursor = p + 1
+			} else {
+				cursor = -1
+			}
+		}
+
+		// Record this occurrence for future lookups.
+		if _, ok := first[m]; !ok {
+			first[m] = i
+		}
+		if i > 0 {
+			digram[dkey{seq[i-1], m}] = i - 1
+		}
+		recent[m] = i
+		if policy == PolicyLongest {
+			o := append(occs[m], i)
+			if len(o) > longestOccs {
+				o = o[1:]
+			}
+			occs[m] = o
+		}
+	}
+	return res
+}
+
+// EvaluateHeuristics runs all Fig. 6 policies on the trace.
+func EvaluateHeuristics(seq []isa.Block) []HeuristicResult {
+	out := make([]HeuristicResult, 0, len(Policies()))
+	for _, p := range Policies() {
+		out = append(out, EvaluateHeuristic(p, seq))
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"tifs/internal/isa"
+)
+
+// IMLEntryBits is the storage cost of one IML entry: a 38-bit physical
+// block address plus the SVB-hit bit (paper Section 6.3).
+const IMLEntryBits = 39
+
+// IMLStorageKB converts per-core IML entries to kilobytes of storage.
+func IMLStorageKB(entries int) float64 {
+	return float64(entries) * IMLEntryBits / 8 / 1024
+}
+
+// IMLCapacityPoint is one point of the Fig. 11 sweep.
+type IMLCapacityPoint struct {
+	// EntriesPerCore is the IML capacity in logged addresses per core.
+	EntriesPerCore int
+	// StorageKB is the aggregate storage across all cores.
+	StorageKB float64
+	// Coverage is the fraction of misses predicted by stream replay.
+	Coverage float64
+}
+
+// imlWindow is the stream-following tolerance: the SVB holds several
+// streamed blocks at once, absorbing small deviations in access order
+// (paper Section 5.2.1). The functional model checks the next few logged
+// addresses of the active stream.
+const imlWindow = 4
+
+// IMLCoverage measures predictor coverage with a bounded circular IML per
+// core, a perfect (unbounded, precise) index table, and Recent-policy
+// index updates — the Fig. 11 methodology, which isolates IML capacity
+// from index effects. entries <= 0 means unbounded.
+//
+// Per-core miss traces are interleaved round-robin to approximate
+// concurrent execution; the index is shared, so one core may follow a
+// stream another core logged.
+func IMLCoverage(perCore [][]isa.Block, entries int) float64 {
+	nc := len(perCore)
+	if nc == 0 {
+		return 0
+	}
+
+	type pos struct {
+		core int
+		idx  int // absolute append index within that core's IML
+	}
+	// Per-core logs (absolute; aliveness enforced against entries).
+	logs := make([][]isa.Block, nc)
+	index := make(map[isa.Block]pos)
+	// Per-core active stream pointer (into some core's log), -1 idle.
+	cur := make([]pos, nc)
+	for i := range cur {
+		cur[i] = pos{core: -1}
+	}
+
+	alive := func(p pos) bool {
+		if p.core < 0 {
+			return false
+		}
+		if entries <= 0 {
+			return p.idx < len(logs[p.core])
+		}
+		return p.idx < len(logs[p.core]) && p.idx >= len(logs[p.core])-entries
+	}
+
+	var covered, total uint64
+	next := make([]int, nc)
+	for {
+		progressed := false
+		for c := 0; c < nc; c++ {
+			if next[c] >= len(perCore[c]) {
+				continue
+			}
+			progressed = true
+			m := perCore[c][next[c]]
+			next[c]++
+			total++
+
+			// Try to cover from the active stream within the SVB window.
+			hit := false
+			if cur[c].core >= 0 {
+				p := cur[c]
+				for w := 0; w < imlWindow; w++ {
+					q := pos{core: p.core, idx: p.idx + w}
+					if !alive(q) {
+						break
+					}
+					if logs[q.core][q.idx] == m {
+						covered++
+						cur[c] = pos{core: q.core, idx: q.idx + 1}
+						hit = true
+						break
+					}
+				}
+			}
+			if !hit {
+				// Fresh lookup: follow the most recent occurrence.
+				if p, ok := index[m]; ok && alive(p) {
+					cur[c] = pos{core: p.core, idx: p.idx + 1}
+				} else {
+					cur[c] = pos{core: -1}
+				}
+			}
+
+			// Log the miss and update the index (Recent policy).
+			logs[c] = append(logs[c], m)
+			index[m] = pos{core: c, idx: len(logs[c]) - 1}
+		}
+		if !progressed {
+			break
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(covered) / float64(total)
+}
+
+// DefaultIMLSweepEntries are the per-core IML capacities swept in the
+// Fig. 11 reproduction.
+func DefaultIMLSweepEntries() []int {
+	return []int{512, 1024, 2048, 4096, 8192, 16384, 32768, 65536}
+}
+
+// IMLCapacitySweep runs IMLCoverage across capacities and reports the
+// Fig. 11 curve for one workload.
+func IMLCapacitySweep(perCore [][]isa.Block, entriesList []int) []IMLCapacityPoint {
+	if len(entriesList) == 0 {
+		entriesList = DefaultIMLSweepEntries()
+	}
+	out := make([]IMLCapacityPoint, 0, len(entriesList))
+	for _, n := range entriesList {
+		out = append(out, IMLCapacityPoint{
+			EntriesPerCore: n,
+			StorageKB:      IMLStorageKB(n) * float64(len(perCore)),
+			Coverage:       IMLCoverage(perCore, n),
+		})
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"tifs/internal/stats"
+	"tifs/internal/trace"
+)
+
+// DefaultLookaheadMisses is the prefetch depth of the Fig. 10 study: the
+// number of future instruction-cache misses a fetch-directed prefetcher
+// must reach to be timely.
+const DefaultLookaheadMisses = 4
+
+// BranchLookahead computes, for every miss in the trace, how many
+// non-inner-loop conditional branches a branch-predictor-directed
+// prefetcher must predict correctly to run depth misses ahead of the
+// fetch unit (Fig. 10). Each MissRecord carries the branch count since
+// the previous miss; the lookahead cost for miss i is the sum over the
+// next depth misses.
+func BranchLookahead(recs []trace.MissRecord, depth int) *stats.Histogram {
+	if depth <= 0 {
+		depth = DefaultLookaheadMisses
+	}
+	h := stats.NewHistogram()
+	if len(recs) <= depth {
+		return h
+	}
+	// Sliding window sum of Branches over recs[i+1 .. i+depth].
+	window := 0
+	for j := 1; j <= depth; j++ {
+		window += recs[j].Branches
+	}
+	for i := 0; i+depth < len(recs); i++ {
+		h.Add(window)
+		window -= recs[i+1].Branches
+		if i+depth+1 < len(recs) {
+			window += recs[i+depth+1].Branches
+		}
+	}
+	return h
+}
+
+// LookaheadBuckets are the x-axis points of Fig. 10 (powers of two).
+func LookaheadBuckets() []int {
+	return []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+}
+
+// LookaheadCDF evaluates the cumulative fraction of misses needing at
+// most each bucket's branch count, matching the Fig. 10 presentation.
+func LookaheadCDF(h *stats.Histogram) []stats.CDFPoint {
+	out := make([]stats.CDFPoint, 0, len(LookaheadBuckets()))
+	for _, b := range LookaheadBuckets() {
+		out = append(out, stats.CDFPoint{X: b, P: h.CDFAt(b)})
+	}
+	return out
+}

@@ -1,0 +1,256 @@
+// Package branch implements the front-end branch prediction machinery of
+// Table II — a hybrid predictor combining a 16K-entry gShare with a
+// 16K-entry bimodal table under a selector — plus the branch target buffer
+// and return-address stack that a fetch-directed prefetcher (FDIP,
+// Reinman et al.) needs to explore control flow ahead of the fetch unit.
+//
+// Prediction quality is what limits FDIP's lookahead in the paper
+// (Sections 3.2 and 6.2); TIFS itself uses none of this machinery.
+package branch
+
+import "tifs/internal/isa"
+
+// counter is a 2-bit saturating counter; >= 2 predicts taken.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) inc() counter {
+	if c < 3 {
+		return c + 1
+	}
+	return c
+}
+
+func (c counter) dec() counter {
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Bimodal is a PC-indexed table of 2-bit counters.
+type Bimodal struct {
+	table []counter
+	mask  uint64
+}
+
+// NewBimodal creates a bimodal predictor with the given number of entries
+// (must be a power of two). Counters initialize to weakly taken.
+func NewBimodal(entries int) *Bimodal {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("branch: entries must be a positive power of two")
+	}
+	t := make([]counter, entries)
+	for i := range t {
+		t[i] = 2
+	}
+	return &Bimodal{table: t, mask: uint64(entries - 1)}
+}
+
+func (b *Bimodal) index(pc isa.Addr) uint64 {
+	return (uint64(pc) >> 2) & b.mask
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (b *Bimodal) Predict(pc isa.Addr) bool {
+	return b.table[b.index(pc)].taken()
+}
+
+// Update trains the entry for pc with the resolved direction.
+func (b *Bimodal) Update(pc isa.Addr, taken bool) {
+	i := b.index(pc)
+	if taken {
+		b.table[i] = b.table[i].inc()
+	} else {
+		b.table[i] = b.table[i].dec()
+	}
+}
+
+// GShare is a global-history predictor: the PC is XORed with a shift
+// register of recent branch outcomes to index the counter table.
+type GShare struct {
+	table   []counter
+	mask    uint64
+	history uint64
+	bits    uint
+}
+
+// NewGShare creates a gShare predictor with the given number of entries
+// (power of two); history length is log2(entries).
+func NewGShare(entries int) *GShare {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("branch: entries must be a positive power of two")
+	}
+	t := make([]counter, entries)
+	for i := range t {
+		t[i] = 2
+	}
+	bits := uint(0)
+	for 1<<bits < entries {
+		bits++
+	}
+	return &GShare{table: t, mask: uint64(entries - 1), bits: bits}
+}
+
+func (g *GShare) index(pc isa.Addr) uint64 {
+	return ((uint64(pc) >> 2) ^ g.history) & g.mask
+}
+
+// Predict returns the predicted direction for the branch at pc under the
+// current global history.
+func (g *GShare) Predict(pc isa.Addr) bool {
+	return g.table[g.index(pc)].taken()
+}
+
+// Update trains the indexed entry and shifts the outcome into the global
+// history.
+func (g *GShare) Update(pc isa.Addr, taken bool) {
+	i := g.index(pc)
+	if taken {
+		g.table[i] = g.table[i].inc()
+	} else {
+		g.table[i] = g.table[i].dec()
+	}
+	g.history = (g.history << 1) & g.mask
+	if taken {
+		g.history |= 1
+	}
+}
+
+// Hybrid is the Table II predictor: gShare and bimodal components with a
+// per-PC chooser trained toward whichever component was correct.
+type Hybrid struct {
+	gshare  *GShare
+	bimodal *Bimodal
+	chooser []counter // >= 2 selects gshare
+	mask    uint64
+}
+
+// NewHybrid creates a hybrid predictor; each component table and the
+// chooser have the given number of entries.
+func NewHybrid(entries int) *Hybrid {
+	h := &Hybrid{
+		gshare:  NewGShare(entries),
+		bimodal: NewBimodal(entries),
+		chooser: make([]counter, entries),
+		mask:    uint64(entries - 1),
+	}
+	for i := range h.chooser {
+		h.chooser[i] = 2
+	}
+	return h
+}
+
+// NewDefaultHybrid returns the paper's configuration: 16K gShare and 16K
+// bimodal entries.
+func NewDefaultHybrid() *Hybrid { return NewHybrid(16 * 1024) }
+
+func (h *Hybrid) chooserIndex(pc isa.Addr) uint64 {
+	return (uint64(pc) >> 2) & h.mask
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (h *Hybrid) Predict(pc isa.Addr) bool {
+	if h.chooser[h.chooserIndex(pc)].taken() {
+		return h.gshare.Predict(pc)
+	}
+	return h.bimodal.Predict(pc)
+}
+
+// Update trains both components and steers the chooser toward the one
+// that predicted correctly (no movement when they agree).
+func (h *Hybrid) Update(pc isa.Addr, taken bool) {
+	gp := h.gshare.Predict(pc)
+	bp := h.bimodal.Predict(pc)
+	ci := h.chooserIndex(pc)
+	if gp != bp {
+		if gp == taken {
+			h.chooser[ci] = h.chooser[ci].inc()
+		} else {
+			h.chooser[ci] = h.chooser[ci].dec()
+		}
+	}
+	h.gshare.Update(pc, taken)
+	h.bimodal.Update(pc, taken)
+}
+
+// BTB is a direct-mapped branch target buffer with tags, mapping branch
+// PCs to their most recent taken targets.
+type BTB struct {
+	tags    []uint64
+	targets []isa.Addr
+	valid   []bool
+	mask    uint64
+}
+
+// NewBTB creates a BTB with the given number of entries (power of two).
+func NewBTB(entries int) *BTB {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("branch: entries must be a positive power of two")
+	}
+	return &BTB{
+		tags:    make([]uint64, entries),
+		targets: make([]isa.Addr, entries),
+		valid:   make([]bool, entries),
+		mask:    uint64(entries - 1),
+	}
+}
+
+func (b *BTB) index(pc isa.Addr) uint64 { return (uint64(pc) >> 2) & b.mask }
+
+// Lookup returns the predicted target for pc, if any.
+func (b *BTB) Lookup(pc isa.Addr) (isa.Addr, bool) {
+	i := b.index(pc)
+	if b.valid[i] && b.tags[i] == uint64(pc) {
+		return b.targets[i], true
+	}
+	return 0, false
+}
+
+// Update records the resolved target for pc.
+func (b *BTB) Update(pc isa.Addr, target isa.Addr) {
+	i := b.index(pc)
+	b.tags[i] = uint64(pc)
+	b.targets[i] = target
+	b.valid[i] = true
+}
+
+// RAS is a fixed-depth return-address stack with wraparound overwrite on
+// overflow, as hardware RASes behave.
+type RAS struct {
+	stack []isa.Addr
+	top   int // number of live entries, saturates at capacity
+	pos   int // next push slot
+}
+
+// NewRAS creates a return-address stack with the given capacity.
+func NewRAS(depth int) *RAS {
+	if depth <= 0 {
+		panic("branch: RAS depth must be positive")
+	}
+	return &RAS{stack: make([]isa.Addr, depth)}
+}
+
+// Push records a return address at a call.
+func (r *RAS) Push(ret isa.Addr) {
+	r.stack[r.pos] = ret
+	r.pos = (r.pos + 1) % len(r.stack)
+	if r.top < len(r.stack) {
+		r.top++
+	}
+}
+
+// Pop predicts the target of a return. ok is false when the stack is
+// empty (prediction unavailable).
+func (r *RAS) Pop() (isa.Addr, bool) {
+	if r.top == 0 {
+		return 0, false
+	}
+	r.pos = (r.pos - 1 + len(r.stack)) % len(r.stack)
+	r.top--
+	return r.stack[r.pos], true
+}
+
+// Depth returns the number of live entries.
+func (r *RAS) Depth() int { return r.top }

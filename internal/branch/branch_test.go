@@ -1,0 +1,243 @@
+package branch
+
+import (
+	"testing"
+
+	"tifs/internal/isa"
+	"tifs/internal/xrand"
+)
+
+func TestCounterSaturation(t *testing.T) {
+	c := counter(0)
+	for i := 0; i < 10; i++ {
+		c = c.inc()
+	}
+	if c != 3 {
+		t.Errorf("inc saturation = %d", c)
+	}
+	for i := 0; i < 10; i++ {
+		c = c.dec()
+	}
+	if c != 0 {
+		t.Errorf("dec saturation = %d", c)
+	}
+}
+
+func TestBimodalLearnsBias(t *testing.T) {
+	b := NewBimodal(1024)
+	pc := isa.Addr(0x1000)
+	for i := 0; i < 10; i++ {
+		b.Update(pc, false)
+	}
+	if b.Predict(pc) {
+		t.Error("bimodal failed to learn always-not-taken")
+	}
+	for i := 0; i < 10; i++ {
+		b.Update(pc, true)
+	}
+	if !b.Predict(pc) {
+		t.Error("bimodal failed to relearn always-taken")
+	}
+}
+
+func TestBimodalPanicsOnBadSize(t *testing.T) {
+	for _, n := range []int{0, -4, 3, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBimodal(%d) should panic", n)
+				}
+			}()
+			NewBimodal(n)
+		}()
+	}
+}
+
+func TestGShareLearnsAlternating(t *testing.T) {
+	// A strictly alternating branch is mispredicted by bimodal but learned
+	// perfectly by gshare once history warms up.
+	g := NewGShare(4096)
+	pc := isa.Addr(0x2000)
+	taken := false
+	// Warm up.
+	for i := 0; i < 200; i++ {
+		g.Update(pc, taken)
+		taken = !taken
+	}
+	correct := 0
+	for i := 0; i < 100; i++ {
+		if g.Predict(pc) == taken {
+			correct++
+		}
+		g.Update(pc, taken)
+		taken = !taken
+	}
+	if correct < 95 {
+		t.Errorf("gshare alternating accuracy = %d/100", correct)
+	}
+}
+
+func TestHybridBeatsWorstComponent(t *testing.T) {
+	// Mix of biased branches (bimodal-friendly) and history-dependent
+	// branches (gshare-friendly); the hybrid should approach the better
+	// component on each.
+	h := NewDefaultHybrid()
+	rng := xrand.New(99)
+	biased := isa.Addr(0x100)
+	alt := isa.Addr(0x204)
+	altTaken := false
+	for i := 0; i < 2000; i++ {
+		h.Update(biased, rng.Bool(0.95))
+		h.Update(alt, altTaken)
+		altTaken = !altTaken
+	}
+	// Measure.
+	correctBiased, correctAlt, n := 0, 0, 500
+	for i := 0; i < n; i++ {
+		outcome := rng.Bool(0.95)
+		if h.Predict(biased) == outcome {
+			correctBiased++
+		}
+		h.Update(biased, outcome)
+
+		if h.Predict(alt) == altTaken {
+			correctAlt++
+		}
+		h.Update(alt, altTaken)
+		altTaken = !altTaken
+	}
+	if float64(correctBiased)/float64(n) < 0.85 {
+		t.Errorf("hybrid on biased branch: %d/%d", correctBiased, n)
+	}
+	if float64(correctAlt)/float64(n) < 0.90 {
+		t.Errorf("hybrid on alternating branch: %d/%d", correctAlt, n)
+	}
+}
+
+func TestHybridRandomBranchNearChance(t *testing.T) {
+	h := NewDefaultHybrid()
+	rng := xrand.New(7)
+	pc := isa.Addr(0x3000)
+	correct, n := 0, 4000
+	for i := 0; i < n; i++ {
+		outcome := rng.Bool(0.5)
+		if h.Predict(pc) == outcome {
+			correct++
+		}
+		h.Update(pc, outcome)
+	}
+	acc := float64(correct) / float64(n)
+	if acc > 0.6 {
+		t.Errorf("hybrid predicted a coin flip with accuracy %f", acc)
+	}
+}
+
+func TestBTB(t *testing.T) {
+	b := NewBTB(1024)
+	pc, target := isa.Addr(0x4000), isa.Addr(0x8000)
+	if _, ok := b.Lookup(pc); ok {
+		t.Error("cold BTB lookup should miss")
+	}
+	b.Update(pc, target)
+	got, ok := b.Lookup(pc)
+	if !ok || got != target {
+		t.Errorf("Lookup = %v,%v", got, ok)
+	}
+	// Conflicting PC (same index, different tag) evicts.
+	conflict := pc + isa.Addr(1024*4)
+	b.Update(conflict, 0x9000)
+	if _, ok := b.Lookup(pc); ok {
+		t.Error("conflicting update should evict prior entry")
+	}
+}
+
+func TestRASLIFO(t *testing.T) {
+	r := NewRAS(8)
+	if _, ok := r.Pop(); ok {
+		t.Error("empty RAS pop should fail")
+	}
+	r.Push(0x100)
+	r.Push(0x200)
+	r.Push(0x300)
+	if r.Depth() != 3 {
+		t.Errorf("Depth = %d", r.Depth())
+	}
+	for _, want := range []isa.Addr{0x300, 0x200, 0x100} {
+		got, ok := r.Pop()
+		if !ok || got != want {
+			t.Errorf("Pop = %v,%v; want %v", got, ok, want)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("drained RAS pop should fail")
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	r := NewRAS(4)
+	for i := 1; i <= 6; i++ {
+		r.Push(isa.Addr(i * 0x10))
+	}
+	// Stack holds the 4 most recent: 0x60, 0x50, 0x40, 0x30.
+	for _, want := range []isa.Addr{0x60, 0x50, 0x40, 0x30} {
+		got, ok := r.Pop()
+		if !ok || got != want {
+			t.Errorf("Pop = %v,%v; want %v", got, ok, want)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("RAS should be empty after draining capacity")
+	}
+}
+
+func TestRASPanicsOnBadDepth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRAS(0) should panic")
+		}
+	}()
+	NewRAS(0)
+}
+
+func TestPredictorAccuracyOnBiasedStream(t *testing.T) {
+	// Overall sanity: on a stream of 90%-biased branches across many PCs,
+	// the hybrid should exceed 80% accuracy after warmup.
+	h := NewDefaultHybrid()
+	rng := xrand.New(1234)
+	pcs := make([]isa.Addr, 64)
+	bias := make([]float64, 64)
+	for i := range pcs {
+		pcs[i] = isa.Addr(0x1_0000 + i*4)
+		if rng.Bool(0.5) {
+			bias[i] = 0.9
+		} else {
+			bias[i] = 0.1
+		}
+	}
+	for i := 0; i < 20000; i++ {
+		k := rng.Intn(64)
+		h.Update(pcs[k], rng.Bool(bias[k]))
+	}
+	correct, n := 0, 20000
+	for i := 0; i < n; i++ {
+		k := rng.Intn(64)
+		outcome := rng.Bool(bias[k])
+		if h.Predict(pcs[k]) == outcome {
+			correct++
+		}
+		h.Update(pcs[k], outcome)
+	}
+	if acc := float64(correct) / float64(n); acc < 0.8 {
+		t.Errorf("hybrid accuracy on biased stream = %f", acc)
+	}
+}
+
+func BenchmarkHybridPredictUpdate(b *testing.B) {
+	h := NewDefaultHybrid()
+	rng := xrand.New(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc := isa.Addr(uint64(i%4096) * 4)
+		h.Update(pc, h.Predict(pc) != rng.Bool(0.1))
+	}
+}

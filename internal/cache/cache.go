@@ -1,0 +1,199 @@
+// Package cache implements the set-associative cache model used for the
+// L1 instruction caches and the shared L2 of the simulated CMP (Table II:
+// split 64 KB 2-way L1s, 8 MB 16-way L2, 64-byte blocks).
+//
+// The model is functional: it tracks presence and replacement state, not
+// timing. Timing lives in internal/cpu and internal/uncore, which consult
+// this model for hit/miss decisions.
+package cache
+
+import (
+	"fmt"
+
+	"tifs/internal/isa"
+)
+
+// Config sizes a cache.
+type Config struct {
+	// SizeBytes is the total capacity in bytes.
+	SizeBytes int
+	// Assoc is the set associativity.
+	Assoc int
+}
+
+// Validate checks the configuration for consistency: capacity must be a
+// positive multiple of Assoc cache blocks and yield a power-of-two number
+// of sets (required for index extraction).
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("cache: non-positive size or associativity: %+v", c)
+	}
+	blocks := c.SizeBytes / isa.BlockBytes
+	if blocks*isa.BlockBytes != c.SizeBytes {
+		return fmt.Errorf("cache: size %d not a multiple of block size", c.SizeBytes)
+	}
+	if blocks%c.Assoc != 0 {
+		return fmt.Errorf("cache: %d blocks not divisible by assoc %d", blocks, c.Assoc)
+	}
+	sets := blocks / c.Assoc
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: %d sets is not a power of two", sets)
+	}
+	return nil
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	// Accesses is the number of demand accesses (Access calls).
+	Accesses uint64
+	// Hits is the number of demand accesses that hit.
+	Hits uint64
+	// Fills is the number of blocks inserted.
+	Fills uint64
+	// Evictions is the number of valid blocks displaced by fills.
+	Evictions uint64
+}
+
+// Misses returns demand misses.
+func (s Stats) Misses() uint64 { return s.Accesses - s.Hits }
+
+// HitRate returns the demand hit fraction (0 when idle).
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+type way struct {
+	tag   uint64
+	valid bool
+	used  uint64 // global LRU stamp
+}
+
+// Cache is a set-associative cache with true-LRU replacement over block
+// addresses.
+type Cache struct {
+	cfg      Config
+	sets     [][]way
+	setMask  uint64
+	setShift uint
+	clock    uint64
+	stats    Stats
+}
+
+// New builds a cache; it panics on an invalid configuration (sizes are
+// static simulator parameters, so misconfiguration is a programming
+// error).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	numSets := cfg.SizeBytes / isa.BlockBytes / cfg.Assoc
+	c := &Cache{
+		cfg:     cfg,
+		sets:    make([][]way, numSets),
+		setMask: uint64(numSets - 1),
+	}
+	backing := make([]way, numSets*cfg.Assoc)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return len(c.sets) }
+
+// Stats returns a copy of the activity counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// set returns the set index for a block.
+func (c *Cache) set(b isa.Block) uint64 { return uint64(b) & c.setMask }
+
+// find returns the way holding b, or nil.
+func (c *Cache) find(b isa.Block) *way {
+	tag := uint64(b)
+	s := c.sets[c.set(b)]
+	for i := range s {
+		if s[i].valid && s[i].tag == tag {
+			return &s[i]
+		}
+	}
+	return nil
+}
+
+// Access performs a demand lookup for b, updating LRU on a hit, and
+// reports whether it hit. A miss does not fill; the caller decides when
+// the fill completes (see Fill).
+func (c *Cache) Access(b isa.Block) bool {
+	c.stats.Accesses++
+	c.clock++
+	if w := c.find(b); w != nil {
+		c.stats.Hits++
+		w.used = c.clock
+		return true
+	}
+	return false
+}
+
+// Contains probes for b without touching LRU or statistics.
+func (c *Cache) Contains(b isa.Block) bool { return c.find(b) != nil }
+
+// Fill inserts b, evicting the LRU way if the set is full. It returns the
+// evicted block and whether an eviction happened. Filling an already
+// present block refreshes its LRU stamp only.
+func (c *Cache) Fill(b isa.Block) (evicted isa.Block, ok bool) {
+	c.clock++
+	if w := c.find(b); w != nil {
+		w.used = c.clock
+		return 0, false
+	}
+	c.stats.Fills++
+	s := c.sets[c.set(b)]
+	victim := &s[0]
+	for i := range s {
+		if !s[i].valid {
+			victim = &s[i]
+			break
+		}
+		if s[i].used < victim.used {
+			victim = &s[i]
+		}
+	}
+	var evictedBlock isa.Block
+	hadVictim := victim.valid
+	if hadVictim {
+		c.stats.Evictions++
+		evictedBlock = isa.Block(victim.tag)
+	}
+	victim.tag = uint64(b)
+	victim.valid = true
+	victim.used = c.clock
+	return evictedBlock, hadVictim
+}
+
+// Invalidate removes b if present and reports whether it was present.
+func (c *Cache) Invalidate(b isa.Block) bool {
+	if w := c.find(b); w != nil {
+		w.valid = false
+		return true
+	}
+	return false
+}
+
+// Occupancy returns the number of valid blocks currently resident.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, s := range c.sets {
+		for i := range s {
+			if s[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

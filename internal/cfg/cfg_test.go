@@ -1,0 +1,231 @@
+package cfg
+
+import (
+	"testing"
+
+	"tifs/internal/isa"
+	"tifs/internal/xrand"
+)
+
+// buildTestProgram makes a small three-layer program: two leaves, two mid
+// functions calling leaves, one driver calling mids, one OS handler.
+func buildTestProgram(t testing.TB, seed string) (*Program, []FuncID, []FuncID) {
+	t.Helper()
+	b := NewBuilder(xrand.NewFromString(seed))
+	app := b.Region("app", 0x1000_0000)
+	os := b.Region("os", 0xf000_0000)
+
+	leaf1 := b.AddFunc(app, "leaf1", FuncSpec{Instrs: 40, HammockFrac: 0.6, Unpredictable: 0.3})
+	leaf2 := b.AddFunc(app, "leaf2", FuncSpec{Instrs: 60, LoopFrac: 0.4})
+	mid1 := b.AddFunc(app, "mid1", FuncSpec{
+		Instrs: 300, HammockFrac: 0.3, LoopFrac: 0.1, CallFrac: 0.3,
+		Callees: []FuncID{leaf1, leaf2}, CalleeFanout: 2, Unpredictable: 0.3,
+	})
+	mid2 := b.AddFunc(app, "mid2", FuncSpec{
+		Instrs: 250, HammockFrac: 0.2, CallFrac: 0.3, Callees: []FuncID{leaf1, leaf2},
+	})
+	drv := b.AddFunc(app, "driver", FuncSpec{
+		Instrs: 400, CallFrac: 0.5, Callees: []FuncID{mid1, mid2}, CalleeFanout: 2,
+	})
+	osHelper := b.AddFunc(os, "os.highbit", FuncSpec{Instrs: 48, HammockFrac: 0.8})
+	sched := b.AddFunc(os, "os.sched", FuncSpec{
+		Instrs: 200, HammockFrac: 0.3, CallFrac: 0.3,
+		Callees: []FuncID{osHelper}, Serializing: true,
+	})
+	prog := b.MustBuild()
+	return prog, []FuncID{drv}, []FuncID{sched}
+}
+
+func TestBuilderProducesValidProgram(t *testing.T) {
+	prog, _, _ := buildTestProgram(t, "valid")
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(prog.Funcs) != 7 {
+		t.Errorf("got %d funcs", len(prog.Funcs))
+	}
+	if len(prog.Regions) != 2 {
+		t.Errorf("got %d regions", len(prog.Regions))
+	}
+	if prog.Regions[0].Name != "app" || prog.Regions[0].Funcs != 5 {
+		t.Errorf("app region = %+v", prog.Regions[0])
+	}
+}
+
+func TestBuilderDeterministic(t *testing.T) {
+	p1, _, _ := buildTestProgram(t, "same")
+	p2, _, _ := buildTestProgram(t, "same")
+	if len(p1.Funcs) != len(p2.Funcs) {
+		t.Fatal("function counts differ")
+	}
+	for i := range p1.Funcs {
+		f1, f2 := p1.Funcs[i], p2.Funcs[i]
+		if f1.Entry != f2.Entry || f1.Instrs != f2.Instrs || len(f1.Blocks) != len(f2.Blocks) {
+			t.Fatalf("func %d differs: %+v vs %+v", i, f1, f2)
+		}
+		for j := range f1.Blocks {
+			b1, b2 := f1.Blocks[j], f2.Blocks[j]
+			if b1.PC != b2.PC || b1.Instrs != b2.Instrs || b1.Term.Kind != b2.Term.Kind {
+				t.Fatalf("func %d block %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestBuilderSeedsDiffer(t *testing.T) {
+	p1, _, _ := buildTestProgram(t, "seed-a")
+	p2, _, _ := buildTestProgram(t, "seed-b")
+	same := true
+	if len(p1.Funcs) != len(p2.Funcs) {
+		same = false
+	} else {
+		for i := range p1.Funcs {
+			if p1.Funcs[i].Instrs != p2.Funcs[i].Instrs {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced structurally identical programs")
+	}
+}
+
+func TestFunctionsAreContiguousAndDisjoint(t *testing.T) {
+	prog, _, _ := buildTestProgram(t, "layout")
+	var prevEnd isa.Addr
+	var prevRegion string
+	for _, f := range prog.Funcs {
+		if f.Region == prevRegion && f.Entry < prevEnd {
+			t.Errorf("function %s at %v overlaps previous end %v", f.Name, f.Entry, prevEnd)
+		}
+		pc := f.Entry
+		for _, b := range f.Blocks {
+			if b.PC != pc {
+				t.Fatalf("%s: block at %v, want %v", f.Name, b.PC, pc)
+			}
+			pc = pc.Add(b.Instrs)
+		}
+		prevEnd = pc
+		prevRegion = f.Region
+	}
+}
+
+func TestFunctionSizeApproximatesSpec(t *testing.T) {
+	b := NewBuilder(xrand.NewFromString("size"))
+	app := b.Region("app", 0x1000_0000)
+	id := b.AddFunc(app, "f", FuncSpec{Instrs: 1000, HammockFrac: 0.3, LoopFrac: 0.1})
+	prog := b.MustBuild()
+	f := prog.Func(id)
+	// Generation overshoots by at most one segment (~tens of instructions).
+	if f.Instrs < 1000 || f.Instrs > 1200 {
+		t.Errorf("Instrs = %d, want ~1000", f.Instrs)
+	}
+	if f.SizeBytes() != f.Instrs*4 {
+		t.Errorf("SizeBytes = %d", f.SizeBytes())
+	}
+}
+
+func TestProgramTotals(t *testing.T) {
+	prog, _, _ := buildTestProgram(t, "totals")
+	total := 0
+	for _, f := range prog.Funcs {
+		total += f.SizeBytes()
+	}
+	if prog.TotalBytes() != total {
+		t.Errorf("TotalBytes = %d, want %d", prog.TotalBytes(), total)
+	}
+	blocks := prog.TotalBlocks()
+	// Each 64-byte block holds 16 instructions; padding means block count
+	// is at least total/64.
+	if blocks < total/64 {
+		t.Errorf("TotalBlocks = %d, too small for %d bytes", blocks, total)
+	}
+}
+
+func TestValidateCatchesBrokenPrograms(t *testing.T) {
+	mk := func() *Program {
+		f := &Function{
+			ID: 0, Name: "f", Entry: 0x100,
+			Blocks: []*BasicBlock{
+				{PC: 0x100, Instrs: 4, Term: Terminator{Kind: isa.CTFallthrough}},
+				{PC: 0x110, Instrs: 2, Term: Terminator{Kind: isa.CTReturn}},
+			},
+			Instrs: 6,
+		}
+		return &Program{Funcs: []*Function{f}}
+	}
+
+	if err := mk().Validate(); err != nil {
+		t.Fatalf("baseline should validate: %v", err)
+	}
+
+	p := mk()
+	p.Funcs[0].Blocks[0].Term = Terminator{Kind: isa.CTBranch, TakenIdx: 5}
+	if p.Validate() == nil {
+		t.Error("out-of-range branch target not caught")
+	}
+
+	p = mk()
+	p.Funcs[0].Blocks[1].PC = 0x200
+	if p.Validate() == nil {
+		t.Error("non-contiguous layout not caught")
+	}
+
+	p = mk()
+	p.Funcs[0].Blocks[1].Term = Terminator{Kind: isa.CTCall, Callees: []FuncID{0}}
+	if p.Validate() == nil {
+		t.Error("trailing call not caught")
+	}
+
+	p = mk()
+	p.Funcs[0].Blocks[1].Term = Terminator{Kind: isa.CTFallthrough}
+	if p.Validate() == nil {
+		t.Error("fall-off-the-end not caught")
+	}
+
+	p = mk()
+	p.Funcs[0].Blocks[0].Instrs = 0
+	if p.Validate() == nil {
+		t.Error("empty block not caught")
+	}
+
+	p = mk()
+	p.Funcs[0].Entry = 0x40
+	if p.Validate() == nil {
+		t.Error("entry mismatch not caught")
+	}
+
+	p = &Program{Funcs: []*Function{{Name: "empty"}}}
+	if p.Validate() == nil {
+		t.Error("function with no blocks not caught")
+	}
+
+	p = mk()
+	p.Funcs[0].Blocks[0].Term = Terminator{Kind: isa.CTCall}
+	if p.Validate() == nil {
+		t.Error("call without callees not caught")
+	}
+
+	p = mk()
+	p.Funcs[0].Blocks[0].Term = Terminator{Kind: isa.CTBranch, TakenIdx: 1, TakenProb: 1.5}
+	if p.Validate() == nil {
+		t.Error("invalid TakenProb not caught")
+	}
+}
+
+func TestBuildTwicePanicsOrErrors(t *testing.T) {
+	b := NewBuilder(xrand.NewFromString("twice"))
+	app := b.Region("app", 0x1000)
+	b.AddFunc(app, "f", FuncSpec{Instrs: 20})
+	b.MustBuild()
+	if _, err := b.Build(); err == nil {
+		t.Error("second Build should fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("AddFunc after Build should panic")
+		}
+	}()
+	b.AddFunc(app, "g", FuncSpec{Instrs: 20})
+}

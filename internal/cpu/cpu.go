@@ -1,0 +1,385 @@
+// Package cpu models one core of the Table II CMP at the fidelity the
+// study needs: a decoupled front end that fetches basic-block events
+// through a 64 KB 2-way L1-I with a two-block next-line prefetcher, an
+// attached (pluggable) instruction prefetcher, a hybrid branch predictor
+// charging misprediction refills, and a width-4 back end whose
+// data-side stalls are a calibrated per-instruction CPI adder
+// (DESIGN.md §2 explains the substitution).
+//
+// All prefetcher differentiation — timeliness, partial latency hiding,
+// bank contention — flows through the cycle accounting here.
+package cpu
+
+import (
+	"tifs/internal/branch"
+	"tifs/internal/cache"
+	"tifs/internal/isa"
+	"tifs/internal/prefetch"
+	"tifs/internal/uncore"
+)
+
+// Config parameterizes a core; zero values select Table II.
+type Config struct {
+	// L1I is the instruction cache geometry (default 64 KB 2-way).
+	L1I cache.Config
+	// Width is dispatch/retire width in instructions per cycle
+	// (default 4).
+	Width int
+	// NextLineDepth is how many blocks ahead the fetch unit's next-line
+	// prefetcher runs (default 2).
+	NextLineDepth int
+	// MispredictPenalty is the pipeline refill cost of a conditional
+	// branch misprediction in cycles (default 12).
+	MispredictPenalty int
+	// SerializePenalty is the ROB-drain cost of serializing events
+	// (traps, synchronization) in cycles (default 24).
+	SerializePenalty int
+	// OverlapCycles is the portion of each fetch-miss stall hidden by the
+	// decoupled front end and pre-dispatch queue (default 8). Serializing
+	// events get no overlap: their miss latency is fully exposed
+	// (Section 3.1).
+	OverlapCycles int
+	// WindowEvents is the fetch-target-queue depth exposed to run-ahead
+	// prefetchers (default 48 events).
+	WindowEvents int
+	// PredictorEntries sizes the core's hybrid branch predictor
+	// (default 16K).
+	PredictorEntries int
+	// BackendCPI is the calibrated per-instruction back-end stall adder.
+	BackendCPI float64
+	// DataBlocksPer1kInstr is the synthetic data-side L2 traffic rate
+	// (ledger only; default 40).
+	DataBlocksPer1kInstr float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.L1I.SizeBytes == 0 {
+		c.L1I = cache.Config{SizeBytes: 64 * 1024, Assoc: 2}
+	}
+	if c.Width == 0 {
+		c.Width = 4
+	}
+	if c.NextLineDepth == 0 {
+		c.NextLineDepth = 2
+	}
+	if c.MispredictPenalty == 0 {
+		c.MispredictPenalty = 12
+	}
+	if c.SerializePenalty == 0 {
+		c.SerializePenalty = 24
+	}
+	if c.OverlapCycles == 0 {
+		c.OverlapCycles = 8
+	}
+	if c.WindowEvents == 0 {
+		c.WindowEvents = 48
+	}
+	if c.PredictorEntries == 0 {
+		c.PredictorEntries = 16 * 1024
+	}
+	if c.DataBlocksPer1kInstr == 0 {
+		c.DataBlocksPer1kInstr = 40
+	}
+	return c
+}
+
+// Stats are one core's execution counters.
+type Stats struct {
+	// Cycles is the core-local clock after the run.
+	Cycles uint64
+	// Instrs and Events count retired work.
+	Instrs, Events uint64
+	// BlockFetches counts demand block accesses; the outcome counters
+	// partition them.
+	BlockFetches, L1Hits, NextLineHits, PrefetchHits, Misses uint64
+	// NextLineLate counts misses that were in-flight next-line blocks
+	// (a subset of Misses).
+	NextLineLate uint64
+	// FetchStallCycles is exposed instruction-fetch stall time — the
+	// paper's bottleneck metric. StallNextLine, StallPrefetch, and
+	// StallMiss attribute it to in-flight next-line hits, in-flight
+	// prefetcher hits, and demand misses respectively.
+	FetchStallCycles uint64
+	StallNextLine, StallPrefetch, StallMiss uint64
+	// BranchMispredicts counts conditional mispredictions.
+	BranchMispredicts, Branches uint64
+	// Serializations counts ROB-drain events.
+	Serializations uint64
+}
+
+// IPC returns instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instrs) / float64(s.Cycles)
+}
+
+// FetchStallShare returns the fraction of cycles lost to instruction
+// fetch stalls.
+func (s Stats) FetchStallShare() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.FetchStallCycles) / float64(s.Cycles)
+}
+
+// nlEntry tracks an in-flight/completed next-line prefetch.
+type nlEntry struct {
+	block isa.Block
+	ready uint64
+	used  uint64 // insertion order for FIFO replacement
+}
+
+// Core is one simulated core bound to its event source, prefetcher, and
+// the shared uncore.
+type Core struct {
+	ID  int
+	cfg Config
+
+	l1     *cache.Cache
+	pred   *branch.Hybrid
+	pf     prefetch.Prefetcher
+	un     *uncore.L2
+	src    isa.EventSource
+	window []isa.BlockEvent
+
+	nl      []nlEntry
+	nlSeq   uint64
+	execAcc float64 // fractional execution cycles
+	dataAcc float64 // fractional synthetic data-traffic blocks
+
+	cycle uint64
+	done  bool
+	stats Stats
+}
+
+// New creates a core. The prefetcher may be nil (next-line only).
+func New(id int, cfg Config, src isa.EventSource, pf prefetch.Prefetcher, un *uncore.L2) *Core {
+	cfg = cfg.withDefaults()
+	if pf == nil {
+		pf = prefetch.None{}
+	}
+	c := &Core{
+		ID:   id,
+		cfg:  cfg,
+		l1:   cache.New(cfg.L1I),
+		pred: branch.NewHybrid(cfg.PredictorEntries),
+		pf:   pf,
+		un:   un,
+		src:  src,
+	}
+	return c
+}
+
+// ContainsBlock implements prefetch.L1View.
+func (c *Core) ContainsBlock(b isa.Block) bool { return c.l1.Contains(b) }
+
+// Cycle returns the core-local clock.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// Done reports whether the event source is exhausted.
+func (c *Core) Done() bool { return c.done }
+
+// Stats returns a copy of the counters (Cycles kept current).
+func (c *Core) Stats() Stats {
+	s := c.stats
+	s.Cycles = c.cycle
+	return s
+}
+
+// Prefetcher returns the attached prefetch engine.
+func (c *Core) Prefetcher() prefetch.Prefetcher { return c.pf }
+
+// SetPrefetcher attaches a prefetch engine; engines that need the core's
+// L1 view (FDIP) are constructed after the core, so attachment is a
+// separate step. Must be called before the first Step.
+func (c *Core) SetPrefetcher(pf prefetch.Prefetcher) {
+	if pf == nil {
+		pf = prefetch.None{}
+	}
+	c.pf = pf
+}
+
+// fillWindow tops up the fetch-target queue.
+func (c *Core) fillWindow() {
+	for len(c.window) < c.cfg.WindowEvents {
+		ev, ok := c.src.Next()
+		if !ok {
+			break
+		}
+		c.window = append(c.window, ev)
+	}
+}
+
+// nlDrop removes a stale next-line copy superseded by a prefetcher hit.
+func (c *Core) nlDrop(b isa.Block) {
+	for i := range c.nl {
+		if c.nl[i].block == b {
+			c.nl = append(c.nl[:i], c.nl[i+1:]...)
+			return
+		}
+	}
+}
+
+// nlProbe checks the next-line buffer, consuming on hit.
+func (c *Core) nlProbe(b isa.Block) (uint64, bool) {
+	for i := range c.nl {
+		if c.nl[i].block == b {
+			ready := c.nl[i].ready
+			c.nl = append(c.nl[:i], c.nl[i+1:]...)
+			return ready, true
+		}
+	}
+	return 0, false
+}
+
+// nlIssue starts next-line prefetches for the blocks after b.
+func (c *Core) nlIssue(b isa.Block, now uint64) {
+	const nlCapacity = 64
+	for d := 1; d <= c.cfg.NextLineDepth; d++ {
+		nb := b + isa.Block(d)
+		if c.l1.Contains(nb) {
+			continue
+		}
+		dup := false
+		for i := range c.nl {
+			if c.nl[i].block == nb {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		ready := c.un.ReadBlock(c.ID, nb, now, uncore.TrafficNextLine)
+		c.nlSeq++
+		e := nlEntry{block: nb, ready: ready, used: c.nlSeq}
+		if len(c.nl) < nlCapacity {
+			c.nl = append(c.nl, e)
+			continue
+		}
+		oldest := 0
+		for i := 1; i < len(c.nl); i++ {
+			if c.nl[i].used < c.nl[oldest].used {
+				oldest = i
+			}
+		}
+		c.nl[oldest] = e
+	}
+}
+
+// stall advances the clock by the exposed portion of a fetch delay and
+// attributes it to the given counter.
+func (c *Core) stall(ready uint64, serializing bool, attr *uint64) {
+	if ready <= c.cycle {
+		return
+	}
+	wait := ready - c.cycle
+	if !serializing {
+		overlap := uint64(c.cfg.OverlapCycles)
+		if wait <= overlap {
+			return
+		}
+		wait -= overlap
+	}
+	c.cycle += wait
+	c.stats.FetchStallCycles += wait
+	*attr += wait
+}
+
+// Step executes one basic-block event and returns false when the source
+// is exhausted.
+func (c *Core) Step() bool {
+	c.fillWindow()
+	if len(c.window) == 0 {
+		c.done = true
+		return false
+	}
+	ev := c.window[0]
+	c.pf.OnWindow(c.window, c.cycle)
+
+	if ev.Serializing {
+		c.stats.Serializations++
+		c.cycle += uint64(c.cfg.SerializePenalty)
+	}
+
+	// Fetch every cache block the basic block covers. Service order on an
+	// L1 miss: the attached prefetcher's buffer first (a timely streamed
+	// copy beats an in-flight next-line one), then the next-line buffer.
+	// A next-line block still in flight is architecturally an L1 miss
+	// with a merged MSHR: it stalls for the residual latency and is
+	// reported as a miss so TIFS logs it — this is how temporal streaming
+	// comes to cover the sequential blocks after a discontinuity that
+	// next-line cannot fetch timely (Sections 3.1, 7).
+	ev.VisitBlocks(func(b isa.Block) bool {
+		c.stats.BlockFetches++
+		var outcome prefetch.FetchOutcome
+		switch {
+		case c.l1.Access(b):
+			outcome = prefetch.FetchL1Hit
+			c.stats.L1Hits++
+		default:
+			if ready, ok := c.pf.Probe(b, c.cycle); ok {
+				outcome = prefetch.FetchPrefetchHit
+				c.stats.PrefetchHits++
+				c.stall(ready, ev.Serializing, &c.stats.StallPrefetch)
+				c.nlDrop(b)
+			} else if ready, ok := c.nlProbe(b); ok {
+				if ready <= c.cycle {
+					// Arrived in time: counted as an L1 hit (Section 6.1).
+					outcome = prefetch.FetchNextLineHit
+					c.stats.NextLineHits++
+				} else {
+					outcome = prefetch.FetchMiss
+					c.stats.Misses++
+					c.stats.NextLineLate++
+					c.stall(ready, ev.Serializing, &c.stats.StallNextLine)
+				}
+			} else {
+				outcome = prefetch.FetchMiss
+				c.stats.Misses++
+				ready := c.un.ReadBlock(c.ID, b, c.cycle, uncore.TrafficFetch)
+				c.stall(ready, ev.Serializing, &c.stats.StallMiss)
+			}
+			c.l1.Fill(b)
+		}
+		c.pf.OnFetchBlock(b, outcome, c.cycle)
+		c.nlIssue(b, c.cycle)
+		return true
+	})
+
+	// Execute: width-limited dispatch plus the calibrated back-end adder.
+	c.execAcc += float64(ev.Instrs) * (1.0/float64(c.cfg.Width) + c.cfg.BackendCPI)
+	if c.execAcc >= 1 {
+		whole := uint64(c.execAcc)
+		c.cycle += whole
+		c.execAcc -= float64(whole)
+	}
+
+	// Synthetic data-side L2 traffic (ledger only).
+	c.dataAcc += float64(ev.Instrs) * c.cfg.DataBlocksPer1kInstr / 1000
+	if c.dataAcc >= 1 {
+		whole := uint64(c.dataAcc)
+		c.un.AddDataTraffic(whole)
+		c.dataAcc -= float64(whole)
+	}
+
+	// Resolve the terminator.
+	if ev.Kind.IsConditional() {
+		c.stats.Branches++
+		if c.pred.Predict(ev.LastPC()) != ev.Taken {
+			c.stats.BranchMispredicts++
+			c.cycle += uint64(c.cfg.MispredictPenalty)
+		}
+		c.pred.Update(ev.LastPC(), ev.Taken)
+	}
+
+	c.pf.OnEvent(ev, c.cycle)
+	c.stats.Events++
+	c.stats.Instrs += uint64(ev.Instrs)
+	// Shift the window in place (bounded, allocation-free).
+	copy(c.window, c.window[1:])
+	c.window = c.window[:len(c.window)-1]
+	return true
+}

@@ -1,0 +1,368 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation: the Fig. 1 opportunity sweep, the Fig. 3/5/6 SEQUITUR
+// studies, the Fig. 10 lookahead limits, the Fig. 11 IML capacity sweep,
+// the Fig. 12 coverage/discard/traffic accounting, and the Fig. 13
+// performance comparison, plus the Table I/II parameter listings.
+//
+// Each runner returns both a rendered plain-text table (the same rows or
+// series the paper plots) and structured results for programmatic use.
+package experiments
+
+import (
+	"fmt"
+
+	"tifs/internal/analysis"
+	"tifs/internal/isa"
+	"tifs/internal/sim"
+	"tifs/internal/stats"
+	"tifs/internal/trace"
+	"tifs/internal/workload"
+)
+
+// Options control experiment scope.
+type Options struct {
+	// Scale selects workload size; experiments use its default event
+	// budgets unless Events overrides them.
+	Scale workload.Scale
+	// Events overrides the per-core event budget (0 = scale default;
+	// offline analyses use the scale's AnalysisEvents).
+	Events uint64
+	// Cores is the CMP width (default 4).
+	Cores int
+	// Workloads restricts the suite (empty = all six).
+	Workloads []string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Cores == 0 {
+		o.Cores = 4
+	}
+	return o
+}
+
+func (o Options) suite() []workload.Spec {
+	if len(o.Workloads) == 0 {
+		return workload.Suite()
+	}
+	var out []workload.Spec
+	for _, name := range o.Workloads {
+		if s, ok := workload.ByName(name); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// analysisEvents returns the event budget for offline (functional)
+// studies.
+func (o Options) analysisEvents() uint64 {
+	if o.Events != 0 {
+		return o.Events
+	}
+	return o.Scale.AnalysisEvents()
+}
+
+// missTraces extracts per-core filtered miss traces for a workload.
+func missTraces(spec workload.Spec, o Options) [][]trace.MissRecord {
+	gen := workload.Build(spec, o.Scale, o.Cores)
+	out := make([][]trace.MissRecord, o.Cores)
+	for i, src := range gen.Sources() {
+		var recs []trace.MissRecord
+		e := trace.NewExtractor(trace.ExtractorConfig{}, func(m trace.MissRecord) {
+			recs = append(recs, m)
+		})
+		e.Run(src, o.analysisEvents())
+		out[i] = recs
+	}
+	return out
+}
+
+// Table1 prints the workload suite parameters (the paper's Table I).
+func Table1(o Options) string {
+	o = o.withDefaults()
+	t := stats.NewTable("Table I. Commercial server workload parameters (synthetic models)",
+		"Workload", "Class", "Code(KB)", "TxnTypes", "Thr/Core", "Configuration")
+	for _, s := range o.suite() {
+		t.AddRowf(s.Name, string(s.Class),
+			fmt.Sprintf("%d", s.AppKB+s.LibKB+s.OSKB),
+			s.TxnTypes, s.ThreadsPerCore, s.Description)
+	}
+	return t.String()
+}
+
+// Table2 prints the simulated system parameters (the paper's Table II).
+func Table2() string {
+	t := stats.NewTable("Table II. System parameters", "Component", "Configuration")
+	rows := [][2]string{
+		{"Cores", "4x 4-wide OoO (modeled), 4 GHz, UltraSPARC-III-like 4-byte instructions"},
+		{"I-Fetch", "64KB 2-way L1-I, 64-byte blocks, next-line prefetcher (depth 2)"},
+		{"Branch pred.", "hybrid 16K gShare + 16K bimodal, 12-cycle mispredict refill"},
+		{"L2", "8MB 16-way shared, 16 banks, 20-cycle hit, new access per bank per 4 cycles"},
+		{"Memory", "180-cycle latency (45ns), ~28.4 GB/s (9 cycles per 64B block)"},
+		{"TIFS", "per-core SVB 2KB (32 blocks), 4 streams, lookahead 4; IML 8K entries/core"},
+	}
+	for _, r := range rows {
+		t.AddRow(r[0], r[1])
+	}
+	return t.String()
+}
+
+// Fig1Point is one coverage/speedup sample of the opportunity study.
+type Fig1Point struct {
+	Workload string
+	Coverage float64
+	Speedup  float64
+}
+
+// Fig1Result is the full sweep plus per-workload linear fits.
+type Fig1Result struct {
+	Points []Fig1Point
+	Fits   map[string]stats.LinearFit
+}
+
+// Fig1 runs the probabilistic-prefetcher coverage sweep (Section 2).
+func Fig1(o Options) (Fig1Result, string) {
+	o = o.withDefaults()
+	res := Fig1Result{Fits: map[string]stats.LinearFit{}}
+	coverages := []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+
+	headers := []string{"Workload"}
+	for _, c := range coverages {
+		headers = append(headers, fmt.Sprintf("%.0f%%", 100*c))
+	}
+	headers = append(headers, "slope/100%")
+	t := stats.NewTable("Fig. 1. Speedup over next-line prefetching vs. prefetch coverage", headers...)
+	for _, spec := range o.suite() {
+		base := sim.Run(spec, o.Scale, sim.Config{
+			Cores: o.Cores, EventsPerCore: o.Events, Mechanism: sim.Baseline(),
+		})
+		var xs, ys []float64
+		row := []string{spec.Name}
+		for _, cov := range coverages {
+			var r sim.Result
+			if cov == 0 {
+				r = base
+			} else {
+				r = sim.Run(spec, o.Scale, sim.Config{
+					Cores: o.Cores, EventsPerCore: o.Events,
+					Mechanism: sim.Probabilistic(cov),
+				})
+			}
+			sp := r.SpeedupOver(base)
+			res.Points = append(res.Points, Fig1Point{Workload: spec.Name, Coverage: cov, Speedup: sp})
+			xs = append(xs, cov)
+			ys = append(ys, sp)
+			row = append(row, fmt.Sprintf("%.3f", sp))
+		}
+		fit := stats.FitLinear(xs, ys)
+		res.Fits[spec.Name] = fit
+		row = append(row, fmt.Sprintf("%+.3f", fit.Slope))
+		t.AddRow(row...)
+	}
+	return res, t.String()
+}
+
+// Fig3Row is one workload's miss categorization.
+type Fig3Row struct {
+	Workload string
+	Cat      *analysis.Categorization
+}
+
+// Fig3 runs the SEQUITUR opportunity categorization (Section 4.2). The
+// same categorization's stream lengths feed Fig5.
+func Fig3(o Options) ([]Fig3Row, string) {
+	o = o.withDefaults()
+	var rows []Fig3Row
+	t := stats.NewTable("Fig. 3. Miss categorization by SEQUITUR analysis (% of L1-I misses)",
+		"Workload", "Opportunity", "Head", "New", "Non-repetitive", "Repetitive")
+	for _, spec := range o.suite() {
+		perCore := missTraces(spec, o)
+		// Categorize per core and merge counts (the paper logs per-core
+		// miss sequences).
+		merged := stats.NewCategories(analysis.CatOpportunity, analysis.CatHead,
+			analysis.CatNew, analysis.CatNonRepetitive)
+		lengths := stats.NewHistogram()
+		var rules int
+		for _, recs := range perCore {
+			c := analysis.Categorize(trace.Blocks(recs))
+			for _, name := range merged.Names() {
+				merged.Add(name, c.Counts.Count(name))
+			}
+			for _, v := range c.StreamLengths.Values() {
+				lengths.AddN(v, c.StreamLengths.Count(v))
+			}
+			rules += c.Rules
+		}
+		cat := &analysis.Categorization{Counts: merged, StreamLengths: lengths, Rules: rules}
+		rows = append(rows, Fig3Row{Workload: spec.Name, Cat: cat})
+		t.AddRow(spec.Name,
+			stats.Pct(cat.Counts.Fraction(analysis.CatOpportunity)),
+			stats.Pct(cat.Counts.Fraction(analysis.CatHead)),
+			stats.Pct(cat.Counts.Fraction(analysis.CatNew)),
+			stats.Pct(cat.Counts.Fraction(analysis.CatNonRepetitive)),
+			stats.Pct(cat.RepetitiveFrac()))
+	}
+	return rows, t.String()
+}
+
+// Fig5Row is one workload's recurring-stream-length distribution.
+type Fig5Row struct {
+	Workload string
+	Lengths  *stats.Histogram
+}
+
+// Fig5 computes the stream-length CDF over traces with sequential misses
+// removed (modeling a perfect next-line prefetcher, Section 4.3).
+func Fig5(o Options) ([]Fig5Row, string) {
+	o = o.withDefaults()
+	var rows []Fig5Row
+	marks := []float64{0.25, 0.5, 0.75, 0.9}
+	t := stats.NewTable("Fig. 5. Recurring stream lengths, sequential misses removed (length at %opportunity)",
+		"Workload", "p25", "median", "p75", "p90", "max")
+	for _, spec := range o.suite() {
+		perCore := missTraces(spec, o)
+		lengths := stats.NewHistogram()
+		for _, recs := range perCore {
+			c := analysis.Categorize(trace.Blocks(trace.DropSequential(recs)))
+			for _, v := range c.StreamLengths.Values() {
+				lengths.AddN(v, c.StreamLengths.Count(v))
+			}
+		}
+		rows = append(rows, Fig5Row{Workload: spec.Name, Lengths: lengths})
+		row := []string{spec.Name}
+		wcdf := lengths.WeightedCDF()
+		for _, m := range marks {
+			x := 0
+			for _, pt := range wcdf {
+				if pt.P >= m {
+					x = pt.X
+					break
+				}
+			}
+			row = append(row, fmt.Sprintf("%d", x))
+		}
+		maxLen := 0
+		if vs := lengths.Values(); len(vs) > 0 {
+			maxLen = vs[len(vs)-1]
+		}
+		row = append(row, fmt.Sprintf("%d", maxLen))
+		t.AddRow(row...)
+	}
+	return rows, t.String()
+}
+
+// Fig6Row is one workload's heuristic comparison.
+type Fig6Row struct {
+	Workload    string
+	Coverages   map[string]float64
+	Opportunity float64
+}
+
+// Fig6 compares the stream lookup heuristics (Section 4.4).
+func Fig6(o Options) ([]Fig6Row, string) {
+	o = o.withDefaults()
+	var rows []Fig6Row
+	t := stats.NewTable("Fig. 6. Stream lookup heuristics (% of misses eliminated)",
+		"Workload", "First", "Digram", "Recent", "Longest", "Opportunity")
+	for _, spec := range o.suite() {
+		perCore := missTraces(spec, o)
+		covs := map[string]float64{}
+		var opp float64
+		var totalMisses uint64
+		covered := map[string]uint64{}
+		var oppCount uint64
+		for _, recs := range perCore {
+			seq := trace.Blocks(recs)
+			for _, r := range analysis.EvaluateHeuristics(seq) {
+				covered[r.Policy] += r.Covered
+			}
+			c := analysis.Categorize(seq)
+			oppCount += c.Counts.Count(analysis.CatOpportunity)
+			totalMisses += uint64(len(seq))
+		}
+		if totalMisses > 0 {
+			for _, p := range analysis.Policies() {
+				covs[p] = float64(covered[p]) / float64(totalMisses)
+			}
+			opp = float64(oppCount) / float64(totalMisses)
+		}
+		rows = append(rows, Fig6Row{Workload: spec.Name, Coverages: covs, Opportunity: opp})
+		t.AddRow(spec.Name,
+			stats.Pct(covs[analysis.PolicyFirst]),
+			stats.Pct(covs[analysis.PolicyDigram]),
+			stats.Pct(covs[analysis.PolicyRecent]),
+			stats.Pct(covs[analysis.PolicyLongest]),
+			stats.Pct(opp))
+	}
+	return rows, t.String()
+}
+
+// Fig10Row is one workload's lookahead CDF.
+type Fig10Row struct {
+	Workload string
+	CDF      []stats.CDFPoint
+}
+
+// Fig10 measures how many non-inner-loop branch predictions a
+// fetch-directed prefetcher needs for a four-miss lookahead (Section 6.2).
+func Fig10(o Options) ([]Fig10Row, string) {
+	o = o.withDefaults()
+	var rows []Fig10Row
+	buckets := analysis.LookaheadBuckets()
+	headers := []string{"Workload"}
+	for _, b := range buckets {
+		headers = append(headers, fmt.Sprintf("<=%d", b))
+	}
+	t := stats.NewTable("Fig. 10. Non-inner-loop branch predictions required for 4-miss lookahead (CDF)", headers...)
+	for _, spec := range o.suite() {
+		perCore := missTraces(spec, o)
+		h := stats.NewHistogram()
+		for _, recs := range perCore {
+			ph := analysis.BranchLookahead(recs, analysis.DefaultLookaheadMisses)
+			for _, v := range ph.Values() {
+				h.AddN(v, ph.Count(v))
+			}
+		}
+		cdf := analysis.LookaheadCDF(h)
+		rows = append(rows, Fig10Row{Workload: spec.Name, CDF: cdf})
+		row := []string{spec.Name}
+		for _, pt := range cdf {
+			row = append(row, stats.Pct(pt.P))
+		}
+		t.AddRow(row...)
+	}
+	return rows, t.String()
+}
+
+// Fig11Row is one workload's IML-capacity sweep.
+type Fig11Row struct {
+	Workload string
+	Points   []analysis.IMLCapacityPoint
+}
+
+// Fig11 sweeps IML capacity against predictor coverage (Section 6.3).
+func Fig11(o Options) ([]Fig11Row, string) {
+	o = o.withDefaults()
+	entries := analysis.DefaultIMLSweepEntries()
+	headers := []string{"Workload"}
+	for _, n := range entries {
+		headers = append(headers, fmt.Sprintf("%d(%0.0fKB)", n, analysis.IMLStorageKB(n)))
+	}
+	t := stats.NewTable("Fig. 11. Predictor coverage vs. per-core IML capacity (perfect index)", headers...)
+	var rows []Fig11Row
+	for _, spec := range o.suite() {
+		perCore := missTraces(spec, o)
+		blocks := make([][]isa.Block, len(perCore))
+		for i, recs := range perCore {
+			blocks[i] = trace.Blocks(recs)
+		}
+		pts := analysis.IMLCapacitySweep(blocks, entries)
+		row := []string{spec.Name}
+		for _, p := range pts {
+			row = append(row, stats.Pct(p.Coverage))
+		}
+		rows = append(rows, Fig11Row{Workload: spec.Name, Points: pts})
+		t.AddRow(row...)
+	}
+	return rows, t.String()
+}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tifs/internal/core"
+	"tifs/internal/sim"
+	"tifs/internal/stats"
+	"tifs/internal/uncore"
+)
+
+// Fig12Row is one workload's coverage/discard/traffic accounting.
+type Fig12Row struct {
+	Workload     string
+	Coverage     float64
+	Discards     float64
+	TrafficIML   float64 // IML read+write traffic as a fraction of base
+	TrafficTotal float64 // total added traffic as a fraction of base
+}
+
+// Fig12 measures TIFS (dedicated sizing, virtualized storage) coverage,
+// discards, and L2 traffic overhead (Section 6.4).
+func Fig12(o Options) ([]Fig12Row, string) {
+	o = o.withDefaults()
+	var rows []Fig12Row
+	t := stats.NewTable("Fig. 12. TIFS coverage, discards, and L2 traffic overhead (virtualized IML)",
+		"Workload", "Coverage", "Discards", "IML traffic", "Total overhead")
+	for _, spec := range o.suite() {
+		r := sim.Run(spec, o.Scale, sim.Config{
+			Cores: o.Cores, EventsPerCore: o.Events,
+			Mechanism: sim.TIFS(core.VirtualizedConfig()),
+		})
+		var useful uint64
+		for _, s := range r.PerCore {
+			useful += s.PrefetchHits
+		}
+		base := r.Traffic.Base()
+		imlFrac := 0.0
+		if base > 0 {
+			imlFrac = float64(r.Traffic.Count(uncore.TrafficIMLRead)+r.Traffic.Count(uncore.TrafficIMLWrite)) / float64(base)
+		}
+		row := Fig12Row{
+			Workload:     spec.Name,
+			Coverage:     r.Coverage(),
+			Discards:     r.DiscardFrac(),
+			TrafficIML:   imlFrac,
+			TrafficTotal: r.Traffic.OverheadFrac(useful),
+		}
+		rows = append(rows, row)
+		t.AddRow(spec.Name, stats.Pct(row.Coverage), stats.Pct(row.Discards),
+			stats.Pct(row.TrafficIML), stats.Pct(row.TrafficTotal))
+	}
+	return rows, t.String()
+}
+
+// Fig13Mechanisms returns the comparison set of the paper's Fig. 13.
+func Fig13Mechanisms() []sim.Mechanism {
+	return []sim.Mechanism{
+		sim.FDIP(),
+		sim.TIFS(core.UnboundedConfig()),
+		sim.TIFS(core.DedicatedConfig()),
+		sim.TIFS(core.VirtualizedConfig()),
+		sim.Perfect(),
+	}
+}
+
+// Fig13Row is one workload's speedups over the next-line baseline.
+type Fig13Row struct {
+	Workload string
+	// Speedups maps mechanism name to speedup; Results holds the raw
+	// simulation outputs (baseline under "next-line").
+	Speedups map[string]float64
+	Results  map[string]sim.Result
+}
+
+// Fig13 runs the full performance comparison (Section 6.5).
+func Fig13(o Options) ([]Fig13Row, string) {
+	return comparison(o, Fig13Mechanisms(),
+		"Fig. 13. Speedup over next-line prefetching")
+}
+
+// Comparison runs an arbitrary mechanism set against the baseline.
+func Comparison(o Options, mechs []sim.Mechanism, title string) ([]Fig13Row, string) {
+	return comparison(o, mechs, title)
+}
+
+func comparison(o Options, mechs []sim.Mechanism, title string) ([]Fig13Row, string) {
+	o = o.withDefaults()
+	headers := []string{"Workload"}
+	for _, m := range mechs {
+		headers = append(headers, m.Name())
+	}
+	t := stats.NewTable(title, headers...)
+	var rows []Fig13Row
+	perMechanism := make(map[string][]float64)
+	for _, spec := range o.suite() {
+		base := sim.Run(spec, o.Scale, sim.Config{
+			Cores: o.Cores, EventsPerCore: o.Events, Mechanism: sim.Baseline(),
+		})
+		row := Fig13Row{
+			Workload: spec.Name,
+			Speedups: map[string]float64{},
+			Results:  map[string]sim.Result{"next-line": base},
+		}
+		cells := []string{spec.Name}
+		for _, m := range mechs {
+			r := sim.Run(spec, o.Scale, sim.Config{
+				Cores: o.Cores, EventsPerCore: o.Events, Mechanism: m,
+			})
+			sp := r.SpeedupOver(base)
+			row.Speedups[m.Name()] = sp
+			row.Results[m.Name()] = r
+			perMechanism[m.Name()] = append(perMechanism[m.Name()], sp)
+			cells = append(cells, fmt.Sprintf("%.3f", sp))
+		}
+		rows = append(rows, row)
+		t.AddRow(cells...)
+	}
+	// Geometric-mean summary row.
+	cells := []string{"geomean"}
+	for _, m := range mechs {
+		cells = append(cells, fmt.Sprintf("%.3f", stats.GeoMean(perMechanism[m.Name()])))
+	}
+	t.AddRow(cells...)
+	return rows, t.String()
+}
+
+// AblationSVB sweeps the SVB rate-matching lookahead (a design knob the
+// paper fixes at 4, Section 5.2.1).
+func AblationSVB(o Options) string {
+	o = o.withDefaults()
+	lookaheads := []int{1, 2, 4, 8}
+	var mechs []sim.Mechanism
+	for _, la := range lookaheads {
+		cfg := core.DedicatedConfig()
+		cfg.Lookahead = la
+		m := sim.TIFS(cfg)
+		mechs = append(mechs, m)
+	}
+	// Distinct names for the table.
+	headers := []string{"Workload"}
+	for _, la := range lookaheads {
+		headers = append(headers, fmt.Sprintf("lookahead=%d", la))
+	}
+	t := stats.NewTable("Ablation: SVB rate-matching lookahead (speedup over next-line)", headers...)
+	for _, spec := range o.suite() {
+		base := sim.Run(spec, o.Scale, sim.Config{
+			Cores: o.Cores, EventsPerCore: o.Events, Mechanism: sim.Baseline(),
+		})
+		cells := []string{spec.Name}
+		for _, m := range mechs {
+			r := sim.Run(spec, o.Scale, sim.Config{
+				Cores: o.Cores, EventsPerCore: o.Events, Mechanism: m,
+			})
+			cells = append(cells, fmt.Sprintf("%.3f", r.SpeedupOver(base)))
+		}
+		t.AddRow(cells...)
+	}
+	return t.String()
+}
+
+// AblationEndOfStream compares TIFS with and without end-of-stream
+// detection (Section 5.1.3), reporting speedup and discard fraction.
+func AblationEndOfStream(o Options) string {
+	o = o.withDefaults()
+	on := core.DedicatedConfig()
+	off := core.DedicatedConfig()
+	off.DisableEndOfStream = true
+	t := stats.NewTable("Ablation: end-of-stream detection (speedup | discards)",
+		"Workload", "eos-on", "eos-off", "discards-on", "discards-off")
+	for _, spec := range o.suite() {
+		base := sim.Run(spec, o.Scale, sim.Config{
+			Cores: o.Cores, EventsPerCore: o.Events, Mechanism: sim.Baseline(),
+		})
+		rOn := sim.Run(spec, o.Scale, sim.Config{
+			Cores: o.Cores, EventsPerCore: o.Events, Mechanism: sim.TIFS(on),
+		})
+		rOff := sim.Run(spec, o.Scale, sim.Config{
+			Cores: o.Cores, EventsPerCore: o.Events, Mechanism: sim.TIFS(off),
+		})
+		t.AddRow(spec.Name,
+			fmt.Sprintf("%.3f", rOn.SpeedupOver(base)),
+			fmt.Sprintf("%.3f", rOff.SpeedupOver(base)),
+			stats.Pct(rOn.DiscardFrac()), stats.Pct(rOff.DiscardFrac()))
+	}
+	return t.String()
+}
+
+// AblationIndexDrops injects IML-pointer-update drops (tag-pipe
+// back-pressure, Section 5.2.2) and reports coverage degradation.
+func AblationIndexDrops(o Options) string {
+	o = o.withDefaults()
+	probs := []float64{0, 0.05, 0.2, 0.5}
+	headers := []string{"Workload"}
+	for _, p := range probs {
+		headers = append(headers, fmt.Sprintf("drop=%.0f%%", 100*p))
+	}
+	t := stats.NewTable("Ablation: dropped index updates (TIFS coverage)", headers...)
+	for _, spec := range o.suite() {
+		cells := []string{spec.Name}
+		for _, p := range probs {
+			cfg := core.VirtualizedConfig()
+			cfg.IndexDropProb = p
+			r := sim.Run(spec, o.Scale, sim.Config{
+				Cores: o.Cores, EventsPerCore: o.Events, Mechanism: sim.TIFS(cfg),
+			})
+			cells = append(cells, stats.Pct(r.Coverage()))
+		}
+		t.AddRow(cells...)
+	}
+	return t.String()
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Runner executes one named experiment and returns its rendered output.
+type Runner struct {
+	// ID is the experiment identifier ("fig13", "table1", ...).
+	ID string
+	// Description says what the experiment reproduces.
+	Description string
+	// Run executes it.
+	Run func(Options) string
+}
+
+// Registry lists every reproducible table and figure plus the ablations,
+// in paper order.
+func Registry() []Runner {
+	return []Runner{
+		{"table1", "Workload suite parameters (Table I)", func(o Options) string { return Table1(o) }},
+		{"table2", "System parameters (Table II)", func(Options) string { return Table2() }},
+		{"fig1", "Opportunity: speedup vs. prefetch coverage (Fig. 1)", func(o Options) string { _, s := Fig1(o); return s }},
+		{"fig3", "SEQUITUR miss categorization (Fig. 3)", func(o Options) string { _, s := Fig3(o); return s }},
+		{"fig5", "Recurring stream lengths (Fig. 5)", func(o Options) string { _, s := Fig5(o); return s }},
+		{"fig6", "Stream lookup heuristics (Fig. 6)", func(o Options) string { _, s := Fig6(o); return s }},
+		{"fig10", "FDIP lookahead limits (Fig. 10)", func(o Options) string { _, s := Fig10(o); return s }},
+		{"fig11", "IML capacity requirements (Fig. 11)", func(o Options) string { _, s := Fig11(o); return s }},
+		{"fig12", "Coverage, discards, traffic overhead (Fig. 12)", func(o Options) string { _, s := Fig12(o); return s }},
+		{"fig13", "Performance comparison (Fig. 13)", func(o Options) string { _, s := Fig13(o); return s }},
+		{"ablation-svb", "Ablation: SVB lookahead depth", AblationSVB},
+		{"ablation-eos", "Ablation: end-of-stream detection", AblationEndOfStream},
+		{"ablation-drops", "Ablation: dropped index updates", AblationIndexDrops},
+	}
+}
+
+// IDs returns the registered experiment identifiers.
+func IDs() []string {
+	var out []string
+	for _, r := range Registry() {
+		out = append(out, r.ID)
+	}
+	return out
+}
+
+// ByID finds a runner.
+func ByID(id string) (Runner, bool) {
+	for _, r := range Registry() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// RunAll executes every registered experiment and concatenates the
+// rendered outputs in order.
+func RunAll(o Options) string {
+	var b strings.Builder
+	for _, r := range Registry() {
+		fmt.Fprintf(&b, "== %s: %s\n\n", r.ID, r.Description)
+		b.WriteString(r.Run(o))
+		b.WriteString("\n")
+	}
+	return b.String()
+}

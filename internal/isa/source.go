@@ -1,0 +1,79 @@
+package isa
+
+// EventSource yields a stream of dynamic basic-block events. Workload
+// executors, trace readers, and replay buffers all implement it; the
+// simulator and the offline analyses consume it.
+type EventSource interface {
+	// Next returns the next event. ok is false when the source is
+	// exhausted; infinite sources (live workload executors) never return
+	// false and are bounded by the caller.
+	Next() (ev BlockEvent, ok bool)
+}
+
+// SliceSource adapts an in-memory event slice to an EventSource.
+type SliceSource struct {
+	events []BlockEvent
+	pos    int
+}
+
+// NewSliceSource returns a source that yields the given events in order.
+// The slice is not copied.
+func NewSliceSource(events []BlockEvent) *SliceSource {
+	return &SliceSource{events: events}
+}
+
+// Next implements EventSource.
+func (s *SliceSource) Next() (BlockEvent, bool) {
+	if s.pos >= len(s.events) {
+		return BlockEvent{}, false
+	}
+	ev := s.events[s.pos]
+	s.pos++
+	return ev, true
+}
+
+// Reset rewinds the source to the beginning.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Limit wraps an EventSource and stops after n events; it converts an
+// infinite executor into a finite trace of the desired length.
+type Limit struct {
+	src  EventSource
+	left uint64
+}
+
+// NewLimit returns a source yielding at most n events from src.
+func NewLimit(src EventSource, n uint64) *Limit {
+	return &Limit{src: src, left: n}
+}
+
+// Next implements EventSource.
+func (l *Limit) Next() (BlockEvent, bool) {
+	if l.left == 0 {
+		return BlockEvent{}, false
+	}
+	ev, ok := l.src.Next()
+	if !ok {
+		l.left = 0
+		return BlockEvent{}, false
+	}
+	l.left--
+	return ev, true
+}
+
+// Collect drains up to n events from src into a fresh slice. If n is 0 the
+// source is drained until exhaustion (do not pass 0 with infinite sources).
+func Collect(src EventSource, n uint64) []BlockEvent {
+	var out []BlockEvent
+	if n > 0 {
+		out = make([]BlockEvent, 0, n)
+	}
+	for n == 0 || uint64(len(out)) < n {
+		ev, ok := src.Next()
+		if !ok {
+			break
+		}
+		out = append(out, ev)
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package prefetch
+
+import (
+	"tifs/internal/isa"
+	"tifs/internal/xrand"
+)
+
+// Perfect is the "Perfect" bar of Fig. 13: every L1-I miss to a block that
+// is on chip (i.e., fetched at least once before) is satisfied instantly.
+// First-touch misses still go to memory, exactly as in the paper's
+// probabilistic model at 100% coverage (Section 2).
+type Perfect struct {
+	seen  map[isa.Block]struct{}
+	stats Stats
+}
+
+// NewPerfect returns a perfect streamer.
+func NewPerfect() *Perfect {
+	return &Perfect{seen: make(map[isa.Block]struct{})}
+}
+
+// Name implements Prefetcher.
+func (p *Perfect) Name() string { return "perfect" }
+
+// OnWindow implements Prefetcher.
+func (p *Perfect) OnWindow([]isa.BlockEvent, uint64) {}
+
+// OnFetchBlock implements Prefetcher.
+func (p *Perfect) OnFetchBlock(b isa.Block, outcome FetchOutcome, now uint64) {
+	p.seen[b] = struct{}{}
+}
+
+// OnEvent implements Prefetcher.
+func (p *Perfect) OnEvent(isa.BlockEvent, uint64) {}
+
+// Probe implements Prefetcher: instant hit for any previously seen block.
+func (p *Perfect) Probe(b isa.Block, now uint64) (uint64, bool) {
+	if _, ok := p.seen[b]; ok {
+		p.stats.HitsTimely++
+		return now, true
+	}
+	return 0, false
+}
+
+// Stats implements Prefetcher.
+func (p *Perfect) Stats() Stats { return p.stats }
+
+// Probabilistic is the Fig. 1 opportunity-study mechanism: each L1-I miss
+// to an on-chip block is converted into an instant prefetch hit with
+// probability equal to the configured coverage.
+type Probabilistic struct {
+	coverage float64
+	seen     map[isa.Block]struct{}
+	rng      *xrand.Rand
+	stats    Stats
+}
+
+// NewProbabilistic creates the Fig. 1 model with coverage in [0,1].
+func NewProbabilistic(coverage float64, seed string) *Probabilistic {
+	return &Probabilistic{
+		coverage: coverage,
+		seen:     make(map[isa.Block]struct{}),
+		rng:      xrand.NewFromString("probabilistic/" + seed),
+	}
+}
+
+// Name implements Prefetcher.
+func (p *Probabilistic) Name() string { return "probabilistic" }
+
+// OnWindow implements Prefetcher.
+func (p *Probabilistic) OnWindow([]isa.BlockEvent, uint64) {}
+
+// OnFetchBlock implements Prefetcher.
+func (p *Probabilistic) OnFetchBlock(b isa.Block, outcome FetchOutcome, now uint64) {
+	p.seen[b] = struct{}{}
+}
+
+// OnEvent implements Prefetcher.
+func (p *Probabilistic) OnEvent(isa.BlockEvent, uint64) {}
+
+// Probe implements Prefetcher.
+func (p *Probabilistic) Probe(b isa.Block, now uint64) (uint64, bool) {
+	if _, ok := p.seen[b]; !ok {
+		return 0, false
+	}
+	if !p.rng.Bool(p.coverage) {
+		return 0, false
+	}
+	p.stats.HitsTimely++
+	return now, true
+}
+
+// Stats implements Prefetcher.
+func (p *Probabilistic) Stats() Stats { return p.stats }

@@ -1,0 +1,241 @@
+// Package sequitur implements the SEQUITUR hierarchical grammar inference
+// algorithm of Nevill-Manning and Witten (JAIR 1997), which the paper uses
+// for its information-theoretic opportunity study (Section 4): repeated
+// subsequences of the L1-I miss-address trace become grammar rules, so
+// rules correspond exactly to recurring temporal instruction streams.
+//
+// The implementation follows the canonical linked-symbol formulation,
+// maintaining the two SEQUITUR invariants online:
+//
+//	digram uniqueness — no pair of adjacent symbols occurs more than once
+//	in the grammar;
+//	rule utility — every rule other than the root is referenced at least
+//	twice.
+package sequitur
+
+// Grammar incrementally builds a SEQUITUR grammar over a sequence of
+// uint64 terminals (cache block numbers, in this repository).
+type Grammar struct {
+	root   *rule
+	index  map[digram]*symbol
+	nRules int
+	nSyms  uint64
+}
+
+type digram struct {
+	aRule, bRule bool
+	a, b         uint64
+}
+
+type rule struct {
+	id    int
+	guard *symbol
+	count int // references from non-terminals
+}
+
+type symbol struct {
+	next, prev *symbol
+	value      uint64 // terminal value when r == nil
+	r          *rule  // non-terminal: referenced rule
+	owner      *rule  // set on guard symbols only: the rule they delimit
+	g          *Grammar
+}
+
+// New returns an empty grammar.
+func New() *Grammar {
+	g := &Grammar{index: make(map[digram]*symbol)}
+	g.root = g.newRule()
+	return g
+}
+
+func (g *Grammar) newRule() *rule {
+	r := &rule{id: g.nRules}
+	g.nRules++
+	guard := &symbol{owner: r, g: g}
+	guard.next = guard
+	guard.prev = guard
+	r.guard = guard
+	return r
+}
+
+func (r *rule) first() *symbol { return r.guard.next }
+func (r *rule) last() *symbol  { return r.guard.prev }
+
+func (s *symbol) isGuard() bool { return s.owner != nil }
+
+func (s *symbol) nonTerminal() bool { return s.r != nil }
+
+// key returns this symbol's digram-key component.
+func (s *symbol) keyPart() (bool, uint64) {
+	if s.r != nil {
+		return true, uint64(s.r.id)
+	}
+	return false, s.value
+}
+
+// digramKey builds the key for the digram (s, s.next).
+func (s *symbol) digramKey() digram {
+	ar, a := s.keyPart()
+	br, b := s.next.keyPart()
+	return digram{aRule: ar, a: a, bRule: br, b: b}
+}
+
+// sameValue reports whether two symbols carry the same terminal/rule value.
+func sameValue(a, b *symbol) bool {
+	if a == nil || b == nil || a.isGuard() || b.isGuard() {
+		return false
+	}
+	ar, av := a.keyPart()
+	br, bv := b.keyPart()
+	return ar == br && av == bv
+}
+
+// deleteDigram removes the (s, s.next) entry if it points at s.
+func (s *symbol) deleteDigram() {
+	if s.isGuard() || s.next == nil || s.next.isGuard() {
+		return
+	}
+	k := s.digramKey()
+	if s.g.index[k] == s {
+		delete(s.g.index, k)
+	}
+}
+
+// join links left-right, maintaining the digram index including the
+// triple corner cases ("aaa") from the original paper's appendix.
+func join(left, right *symbol) {
+	g := left.g
+	if left.next != nil {
+		left.deleteDigram()
+		// Re-index digrams that the removal may have orphaned in runs of
+		// identical symbols.
+		if sameValue(right, right.prev) && sameValue(right, right.next) {
+			g.index[right.digramKey()] = right
+		}
+		if sameValue(left, left.prev) && sameValue(left, left.next) {
+			g.index[left.prev.digramKey()] = left.prev
+		}
+	}
+	left.next = right
+	right.prev = left
+}
+
+// insertAfter places n immediately after s.
+func (s *symbol) insertAfter(n *symbol) {
+	join(n, s.next)
+	join(s, n)
+}
+
+// remove unlinks s from its rule, maintaining index and rule counts.
+func (s *symbol) remove() {
+	join(s.prev, s.next)
+	if !s.isGuard() {
+		s.deleteDigram()
+		if s.nonTerminal() {
+			s.r.count--
+		}
+	}
+}
+
+// newTerminal wraps a value.
+func (g *Grammar) newTerminal(v uint64) *symbol {
+	return &symbol{value: v, g: g}
+}
+
+// newNonTerminal wraps a rule reference, bumping its use count.
+func (g *Grammar) newNonTerminal(r *rule) *symbol {
+	r.count++
+	return &symbol{r: r, g: g}
+}
+
+// clone copies a symbol's payload into a fresh node.
+func (g *Grammar) clone(s *symbol) *symbol {
+	if s.nonTerminal() {
+		return g.newNonTerminal(s.r)
+	}
+	return g.newTerminal(s.value)
+}
+
+// Append adds the next terminal of the input sequence to the grammar.
+func (g *Grammar) Append(v uint64) {
+	g.nSyms++
+	last := g.root.last()
+	g.root.last().insertAfter(g.newTerminal(v))
+	if last != g.root.guard {
+		last.check()
+	}
+}
+
+// Len returns the number of terminals appended so far.
+func (g *Grammar) Len() uint64 { return g.nSyms }
+
+// check enforces digram uniqueness for the digram starting at s.
+// It reports whether the digram triggered a substitution.
+func (s *symbol) check() bool {
+	if s.isGuard() || s.next.isGuard() {
+		return false
+	}
+	k := s.digramKey()
+	m, ok := s.g.index[k]
+	if !ok {
+		s.g.index[k] = s
+		return false
+	}
+	if m.next != s && s.next != m {
+		s.match(m)
+	}
+	return true
+}
+
+// match folds the duplicate digrams at s and m into a rule.
+func (s *symbol) match(m *symbol) {
+	g := s.g
+	var r *rule
+	if m.prev.isGuard() && m.next.next.isGuard() {
+		// m's rule body is exactly this digram: reuse it.
+		r = m.prev.owner
+		s.substitute(r)
+	} else {
+		r = g.newRule()
+		r.last().insertAfter(g.clone(s))
+		r.last().insertAfter(g.clone(s.next))
+		m.substitute(r)
+		s.substitute(r)
+		g.index[r.first().digramKey()] = r.first()
+	}
+	// Rule utility: a rule inside the new rule may have dropped to a
+	// single use; inline it.
+	if f := r.first(); f.nonTerminal() && f.r.count == 1 {
+		f.expand()
+	}
+}
+
+// substitute replaces the digram (s, s.next) with a reference to r and
+// re-checks the disturbed neighborhoods.
+func (s *symbol) substitute(r *rule) {
+	g := s.g
+	q := s.prev
+	s.remove()
+	q.next.remove()
+	q.insertAfter(g.newNonTerminal(r))
+	if !q.check() {
+		q.next.check()
+	}
+}
+
+// expand inlines the body of a once-used rule in place of the symbol.
+func (s *symbol) expand() {
+	g := s.g
+	left := s.prev
+	right := s.next
+	r := s.r
+	f := r.first()
+	l := r.last()
+	s.deleteDigram()
+	// Unhook the rule guard so the body can be spliced in.
+	join(left, f)
+	join(l, right)
+	g.index[l.digramKey()] = l
+	r.count = 0
+	r.guard = nil // rule is dead
+}

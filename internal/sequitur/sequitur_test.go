@@ -1,0 +1,289 @@
+package sequitur
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tifs/internal/xrand"
+)
+
+func expandEquals(t *testing.T, seq []uint64) *Snapshot {
+	t.Helper()
+	snap := Build(seq)
+	got := snap.Sequence()
+	if len(got) != len(seq) {
+		t.Fatalf("expansion length %d, want %d", len(got), len(seq))
+	}
+	for i := range seq {
+		if got[i] != seq[i] {
+			t.Fatalf("expansion[%d] = %d, want %d", i, got[i], seq[i])
+		}
+	}
+	if err := snap.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	return snap
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	snap := Build(nil)
+	if snap.NumRules() != 1 || len(snap.Sequence()) != 0 {
+		t.Errorf("empty grammar: %d rules, %d terminals", snap.NumRules(), len(snap.Sequence()))
+	}
+	expandEquals(t, []uint64{42})
+}
+
+func TestClassicExample(t *testing.T) {
+	// "abcdbc" from the SEQUITUR paper: yields S -> a A d A, A -> b c.
+	seq := []uint64{'a', 'b', 'c', 'd', 'b', 'c'}
+	snap := expandEquals(t, seq)
+	if snap.NumRules() != 2 {
+		t.Fatalf("rules = %d, want 2", snap.NumRules())
+	}
+	r := snap.Rules[1]
+	if r.ExpLen != 2 || r.Uses != 2 {
+		t.Errorf("rule 1 = %+v", r)
+	}
+	ex := snap.Expand(1)
+	if len(ex) != 2 || ex[0] != 'b' || ex[1] != 'c' {
+		t.Errorf("rule 1 expansion = %v", ex)
+	}
+}
+
+func TestNestedHierarchy(t *testing.T) {
+	// "abcdbcabcdbc": S -> A A, A -> a B d B, B -> b c.
+	seq := []uint64{'a', 'b', 'c', 'd', 'b', 'c', 'a', 'b', 'c', 'd', 'b', 'c'}
+	snap := expandEquals(t, seq)
+	if snap.NumRules() != 3 {
+		t.Errorf("rules = %d, want 3 (hierarchy)", snap.NumRules())
+	}
+	// The root should be two references to one rule of expansion length 6.
+	root := snap.Rules[0]
+	if len(root.Syms) != 2 || !root.Syms[0].IsRule || !root.Syms[1].IsRule {
+		t.Fatalf("root = %+v", root)
+	}
+	if snap.Rules[root.Syms[0].Rule].ExpLen != 6 {
+		t.Errorf("top rule ExpLen = %d, want 6", snap.Rules[root.Syms[0].Rule].ExpLen)
+	}
+}
+
+func TestRunsOfIdenticalSymbols(t *testing.T) {
+	for n := 2; n <= 33; n++ {
+		seq := make([]uint64, n)
+		for i := range seq {
+			seq[i] = 7
+		}
+		expandEquals(t, seq)
+	}
+}
+
+func TestAlternating(t *testing.T) {
+	seq := make([]uint64, 64)
+	for i := range seq {
+		seq[i] = uint64(i % 2)
+	}
+	snap := expandEquals(t, seq)
+	if snap.NumRules() < 2 {
+		t.Error("alternating sequence should compress")
+	}
+}
+
+func TestNoRepetition(t *testing.T) {
+	seq := make([]uint64, 100)
+	for i := range seq {
+		seq[i] = uint64(i)
+	}
+	snap := expandEquals(t, seq)
+	if snap.NumRules() != 1 {
+		t.Errorf("distinct sequence created %d rules, want 1", snap.NumRules())
+	}
+}
+
+func TestRepeatedStreamCompresses(t *testing.T) {
+	// A 50-block "temporal stream" repeated 20 times with distinct noise
+	// between repetitions: the stream must become (nested) rules with a
+	// combined top-level footprint far below 50*20.
+	stream := make([]uint64, 50)
+	for i := range stream {
+		stream[i] = uint64(1000 + i*3)
+	}
+	var seq []uint64
+	noise := uint64(1 << 20)
+	for rep := 0; rep < 20; rep++ {
+		seq = append(seq, stream...)
+		seq = append(seq, noise)
+		noise++
+	}
+	snap := expandEquals(t, seq)
+	// Find the largest non-root rule expansion.
+	var maxExp uint64
+	for _, r := range snap.Rules[1:] {
+		if r.ExpLen > maxExp {
+			maxExp = r.ExpLen
+		}
+	}
+	if maxExp < 45 {
+		t.Errorf("largest rule covers %d of the 50-block stream", maxExp)
+	}
+	rootLen := len(snap.Rules[0].Syms)
+	if rootLen > 80 {
+		t.Errorf("root has %d symbols; repetition not captured", rootLen)
+	}
+}
+
+func TestLenCounts(t *testing.T) {
+	g := New()
+	for i := 0; i < 10; i++ {
+		g.Append(uint64(i % 3))
+	}
+	if g.Len() != 10 {
+		t.Errorf("Len = %d", g.Len())
+	}
+}
+
+func TestSnapshotTwiceConsistent(t *testing.T) {
+	g := New()
+	seq := []uint64{1, 2, 3, 1, 2, 3, 4, 1, 2}
+	for _, v := range seq {
+		g.Append(v)
+	}
+	s1 := g.Snapshot()
+	s2 := g.Snapshot()
+	if s1.NumRules() != s2.NumRules() {
+		t.Error("snapshots differ")
+	}
+	// Grammar remains appendable after snapshotting.
+	g.Append(3)
+	s3 := g.Snapshot()
+	seq3 := s3.Sequence()
+	if len(seq3) != len(seq)+1 || seq3[len(seq3)-1] != 3 {
+		t.Errorf("post-snapshot append broken: %v", seq3)
+	}
+	if err := s3.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRoundTripRandomSmallAlphabet(t *testing.T) {
+	// Small alphabets maximize digram collisions, stressing rule churn.
+	f := func(raw []uint8) bool {
+		seq := make([]uint64, len(raw))
+		for i, v := range raw {
+			seq[i] = uint64(v % 4)
+		}
+		snap := Build(seq)
+		got := snap.Sequence()
+		if len(got) != len(seq) {
+			return false
+		}
+		for i := range seq {
+			if got[i] != seq[i] {
+				return false
+			}
+		}
+		return snap.CheckInvariants() == nil
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRoundTripStructured(t *testing.T) {
+	// Structured repetition: random stream segments repeated in random
+	// order, like real miss traces.
+	f := func(seed uint64, nStreams, reps uint8) bool {
+		rng := xrand.New(seed)
+		ns := int(nStreams%5) + 2
+		streams := make([][]uint64, ns)
+		for i := range streams {
+			streams[i] = make([]uint64, rng.Range(3, 30))
+			for j := range streams[i] {
+				streams[i][j] = uint64(i*1000 + j)
+			}
+		}
+		var seq []uint64
+		for r := 0; r < int(reps%20)+2; r++ {
+			seq = append(seq, streams[rng.Intn(ns)]...)
+		}
+		snap := Build(seq)
+		got := snap.Sequence()
+		if len(got) != len(seq) {
+			return false
+		}
+		for i := range seq {
+			if got[i] != seq[i] {
+				return false
+			}
+		}
+		return snap.CheckInvariants() == nil
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeSequencePerformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := xrand.New(77)
+	streams := make([][]uint64, 40)
+	for i := range streams {
+		streams[i] = make([]uint64, rng.Range(10, 120))
+		for j := range streams[i] {
+			streams[i][j] = uint64(i*4096 + j)
+		}
+	}
+	g := New()
+	total := 0
+	for total < 300_000 {
+		s := streams[rng.Intn(len(streams))]
+		for _, v := range s {
+			g.Append(v)
+		}
+		total += len(s)
+	}
+	snap := g.Snapshot()
+	if err := snap.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Sequence(); len(got) != total {
+		t.Fatalf("round trip length %d != %d", len(got), total)
+	}
+}
+
+func TestExpandPanicsOutOfRange(t *testing.T) {
+	snap := Build([]uint64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Error("Expand(99) should panic")
+		}
+	}()
+	snap.Expand(99)
+}
+
+func BenchmarkAppend(b *testing.B) {
+	rng := xrand.New(3)
+	streams := make([][]uint64, 20)
+	for i := range streams {
+		streams[i] = make([]uint64, 50)
+		for j := range streams[i] {
+			streams[i][j] = uint64(i*100 + j)
+		}
+	}
+	g := New()
+	b.ResetTimer()
+	i := 0
+	for i < b.N {
+		s := streams[rng.Intn(len(streams))]
+		for _, v := range s {
+			g.Append(v)
+			i++
+			if i >= b.N {
+				break
+			}
+		}
+	}
+}

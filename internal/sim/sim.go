@@ -1,0 +1,342 @@
+// Package sim assembles the full system of Table II — four cores with
+// private L1-I caches and next-line prefetchers, a shared 16-bank L2, and
+// a pluggable instruction prefetch mechanism — runs a workload through
+// it, and reports the cycle, coverage, and traffic results every
+// evaluation figure consumes.
+//
+// Cores are interleaved in core-local time order so cross-core L2 bank
+// contention and the shared TIFS Index Table behave as they would in a
+// concurrent system.
+package sim
+
+import (
+	"fmt"
+
+	"tifs/internal/core"
+	"tifs/internal/cpu"
+	"tifs/internal/isa"
+	"tifs/internal/prefetch"
+	"tifs/internal/uncore"
+	"tifs/internal/workload"
+)
+
+// Mechanism selects the additional instruction prefetcher attached to
+// every core (the base system always includes next-line).
+type Mechanism struct {
+	// Kind is one of the Kind* constants.
+	Kind string
+	// TIFS configures the TIFS variants (KindTIFS).
+	TIFS core.Config
+	// FDIP configures fetch-directed prefetching (KindFDIP).
+	FDIP prefetch.FDIPConfig
+	// Discontinuity configures the discontinuity predictor.
+	Discontinuity prefetch.DiscontinuityConfig
+	// Coverage sets the probabilistic mechanism's coverage (KindProb).
+	Coverage float64
+}
+
+// Mechanism kinds.
+const (
+	// KindNone is the next-line-only baseline.
+	KindNone = "none"
+	// KindFDIP is fetch-directed instruction prefetching.
+	KindFDIP = "fdip"
+	// KindDiscontinuity is the discontinuity predictor.
+	KindDiscontinuity = "discontinuity"
+	// KindTIFS is temporal instruction fetch streaming.
+	KindTIFS = "tifs"
+	// KindPerfect is the perfect streamer upper bound.
+	KindPerfect = "perfect"
+	// KindProb is the Fig. 1 probabilistic mechanism.
+	KindProb = "probabilistic"
+)
+
+// Baseline returns the next-line-only mechanism.
+func Baseline() Mechanism { return Mechanism{Kind: KindNone} }
+
+// FDIP returns the paper-tuned FDIP mechanism.
+func FDIP() Mechanism { return Mechanism{Kind: KindFDIP} }
+
+// TIFS wraps a TIFS configuration.
+func TIFS(cfg core.Config) Mechanism { return Mechanism{Kind: KindTIFS, TIFS: cfg} }
+
+// Perfect returns the perfect-streaming upper bound.
+func Perfect() Mechanism { return Mechanism{Kind: KindPerfect} }
+
+// Probabilistic returns the Fig. 1 mechanism at the given coverage.
+func Probabilistic(coverage float64) Mechanism {
+	return Mechanism{Kind: KindProb, Coverage: coverage}
+}
+
+// Discontinuity returns the discontinuity-predictor mechanism.
+func Discontinuity() Mechanism { return Mechanism{Kind: KindDiscontinuity} }
+
+// Name labels the mechanism in experiment output.
+func (m Mechanism) Name() string {
+	switch m.Kind {
+	case KindNone:
+		return "next-line"
+	case KindFDIP:
+		return "FDIP"
+	case KindDiscontinuity:
+		return "discontinuity"
+	case KindTIFS:
+		return m.TIFS.Name()
+	case KindPerfect:
+		return "perfect"
+	case KindProb:
+		return fmt.Sprintf("prob-%.0f%%", 100*m.Coverage)
+	default:
+		return m.Kind
+	}
+}
+
+// Config describes one simulation.
+type Config struct {
+	// Cores is the CMP width (default 4, as Table II).
+	Cores int
+	// EventsPerCore bounds the measured trace length (0 selects the
+	// workload scale's default).
+	EventsPerCore uint64
+	// WarmupEvents are executed before measurement begins, warming the
+	// caches, predictors, and memory queues as the paper's checkpointed
+	// sampling does (Section 6.1). 0 selects 25%% of EventsPerCore.
+	WarmupEvents uint64
+	// CPU carries the core parameters; BackendCPI and data traffic are
+	// filled from the workload spec if zero.
+	CPU cpu.Config
+	// Uncore carries the shared-L2 parameters.
+	Uncore uncore.Config
+	// Mechanism is the attached prefetcher.
+	Mechanism Mechanism
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	// Workload and Mechanism identify the configuration.
+	Workload  string
+	Mechanism string
+	// Cycles is the slowest core's clock (makespan); TotalInstrs and
+	// TotalEvents aggregate work across cores.
+	Cycles      uint64
+	TotalInstrs uint64
+	TotalEvents uint64
+	// PerCore holds each core's counters.
+	PerCore []cpu.Stats
+	// Prefetch aggregates prefetcher counters across cores.
+	Prefetch prefetch.Stats
+	// TIFS holds TIFS-specific counters when the mechanism is TIFS.
+	TIFS *core.TIFSStats
+	// Traffic is the L2 ledger; Uncore the L2 activity counters.
+	Traffic uncore.Traffic
+	Uncore  uncore.Stats
+}
+
+// IPC returns aggregate instructions per (makespan) cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.TotalInstrs) / float64(r.Cycles)
+}
+
+// SpeedupOver returns baseline.Cycles / r.Cycles, the Fig. 13 metric.
+func (r Result) SpeedupOver(baseline Result) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(baseline.Cycles) / float64(r.Cycles)
+}
+
+// Misses returns aggregate post-next-line demand misses.
+func (r Result) Misses() uint64 {
+	var n uint64
+	for _, s := range r.PerCore {
+		n += s.Misses
+	}
+	return n
+}
+
+// Coverage returns the fraction of would-be misses eliminated by the
+// mechanism: prefetch hits over prefetch hits plus remaining misses
+// (the Fig. 12 normalization).
+func (r Result) Coverage() float64 {
+	var hits, misses uint64
+	for _, s := range r.PerCore {
+		hits += s.PrefetchHits
+		misses += s.Misses
+	}
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// DiscardFrac returns discarded prefetches normalized the same way.
+func (r Result) DiscardFrac() float64 {
+	var misses uint64
+	for _, s := range r.PerCore {
+		misses += s.PrefetchHits + s.Misses
+	}
+	if misses == 0 {
+		return 0
+	}
+	return float64(r.Prefetch.Discards) / float64(misses)
+}
+
+// FetchStallShare returns the mean per-core share of cycles lost to
+// instruction fetch.
+func (r Result) FetchStallShare() float64 {
+	if len(r.PerCore) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range r.PerCore {
+		sum += s.FetchStallShare()
+	}
+	return sum / float64(len(r.PerCore))
+}
+
+// Run executes one configuration over a freshly built workload instance.
+func Run(spec workload.Spec, scale workload.Scale, cfg Config) Result {
+	if cfg.Cores == 0 {
+		cfg.Cores = 4
+	}
+	if cfg.EventsPerCore == 0 {
+		cfg.EventsPerCore = scale.DefaultEvents()
+	}
+	if cfg.WarmupEvents == 0 {
+		cfg.WarmupEvents = cfg.EventsPerCore / 4
+	}
+	if cfg.CPU.BackendCPI == 0 {
+		cfg.CPU.BackendCPI = spec.BackendCPI
+	}
+
+	gen := workload.Build(spec, scale, cfg.Cores)
+	un := uncore.New(cfg.Uncore)
+
+	// Build per-core prefetchers; TIFS is one shared instance.
+	var tifs *core.TIFS
+	cores := make([]*cpu.Core, cfg.Cores)
+	sources := gen.Sources()
+	for i := range cores {
+		src := isa.NewLimit(sources[i], cfg.WarmupEvents+cfg.EventsPerCore)
+		c := cpu.New(i, cfg.CPU, src, nil, un)
+		var pf prefetch.Prefetcher
+		switch cfg.Mechanism.Kind {
+		case "", KindNone:
+			pf = prefetch.None{}
+		case KindFDIP:
+			pf = prefetch.NewFDIP(cfg.Mechanism.FDIP, i, un, c)
+		case KindDiscontinuity:
+			pf = prefetch.NewDiscontinuity(cfg.Mechanism.Discontinuity, i, un, c)
+		case KindTIFS:
+			if tifs == nil {
+				tcfg := cfg.Mechanism.TIFS
+				tcfg.Seed = spec.Name + "/" + scale.String()
+				tifs = core.New(tcfg, cfg.Cores, un)
+			}
+			pf = tifs.Core(i)
+		case KindPerfect:
+			pf = prefetch.NewPerfect()
+		case KindProb:
+			pf = prefetch.NewProbabilistic(cfg.Mechanism.Coverage, fmt.Sprintf("%s/%d", spec.Name, i))
+		default:
+			panic("sim: unknown mechanism " + cfg.Mechanism.Kind)
+		}
+		c.SetPrefetcher(pf)
+		cores[i] = c
+	}
+
+	// Interleave cores in core-local time order, snapshotting each core's
+	// counters when it crosses its warmup boundary so only steady-state
+	// behaviour is measured.
+	warmStats := make([]cpu.Stats, cfg.Cores)
+	warmPf := make([]prefetch.Stats, cfg.Cores)
+	warmed := make([]bool, cfg.Cores)
+	var warmTraffic uncore.Traffic
+	warmedCount := 0
+	for {
+		next := -1
+		for i, c := range cores {
+			if c.Done() {
+				continue
+			}
+			if next == -1 || c.Cycle() < cores[next].Cycle() {
+				next = i
+			}
+		}
+		if next == -1 {
+			break
+		}
+		cores[next].Step()
+		if !warmed[next] && cores[next].Stats().Events >= cfg.WarmupEvents {
+			warmed[next] = true
+			warmStats[next] = cores[next].Stats()
+			warmPf[next] = cores[next].Prefetcher().Stats()
+			warmedCount++
+			if warmedCount == cfg.Cores {
+				warmTraffic = un.Traffic()
+			}
+		}
+	}
+
+	res := Result{
+		Workload:  spec.Name,
+		Mechanism: cfg.Mechanism.Name(),
+		Traffic:   subTraffic(un.Traffic(), warmTraffic),
+		Uncore:    un.Stats(),
+	}
+	for i, c := range cores {
+		st := subStats(c.Stats(), warmStats[i])
+		res.PerCore = append(res.PerCore, st)
+		res.TotalInstrs += st.Instrs
+		res.TotalEvents += st.Events
+		if st.Cycles > res.Cycles {
+			res.Cycles = st.Cycles
+		}
+		res.Prefetch.Add(subPf(c.Prefetcher().Stats(), warmPf[i]))
+	}
+	if tifs != nil {
+		ts := tifs.TIFSStats()
+		res.TIFS = &ts
+	}
+	return res
+}
+
+// subStats subtracts a warmup snapshot from final core counters.
+func subStats(a, warm cpu.Stats) cpu.Stats {
+	a.Cycles -= warm.Cycles
+	a.Instrs -= warm.Instrs
+	a.Events -= warm.Events
+	a.BlockFetches -= warm.BlockFetches
+	a.L1Hits -= warm.L1Hits
+	a.NextLineHits -= warm.NextLineHits
+	a.PrefetchHits -= warm.PrefetchHits
+	a.Misses -= warm.Misses
+	a.NextLineLate -= warm.NextLineLate
+	a.FetchStallCycles -= warm.FetchStallCycles
+	a.StallNextLine -= warm.StallNextLine
+	a.StallPrefetch -= warm.StallPrefetch
+	a.StallMiss -= warm.StallMiss
+	a.BranchMispredicts -= warm.BranchMispredicts
+	a.Branches -= warm.Branches
+	a.Serializations -= warm.Serializations
+	return a
+}
+
+// subPf subtracts a warmup snapshot from final prefetcher counters.
+func subPf(a, warm prefetch.Stats) prefetch.Stats {
+	a.Issued -= warm.Issued
+	a.HitsTimely -= warm.HitsTimely
+	a.HitsLate -= warm.HitsLate
+	a.Discards -= warm.Discards
+	a.MetaReads -= warm.MetaReads
+	a.MetaWrites -= warm.MetaWrites
+	return a
+}
+
+// subTraffic subtracts the warmup-era ledger.
+func subTraffic(a, warm uncore.Traffic) uncore.Traffic {
+	return a.Sub(warm)
+}

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"testing"
+
+	"tifs/internal/core"
+	"tifs/internal/uncore"
+	"tifs/internal/workload"
+)
+
+func run(t testing.TB, mech Mechanism) Result {
+	t.Helper()
+	spec, ok := workload.ByName("OLTP-DB2")
+	if !ok {
+		t.Fatal("workload missing")
+	}
+	return Run(spec, workload.ScaleSmall, Config{
+		EventsPerCore: 60_000,
+		WarmupEvents:  20_000,
+		Mechanism:     mech,
+	})
+}
+
+func TestBaselineRuns(t *testing.T) {
+	r := run(t, Baseline())
+	if r.Cycles == 0 || r.TotalInstrs == 0 {
+		t.Fatalf("empty result: %+v", r)
+	}
+	if len(r.PerCore) != 4 {
+		t.Errorf("cores = %d", len(r.PerCore))
+	}
+	for i, s := range r.PerCore {
+		if s.Events != 60_000 {
+			t.Errorf("core %d measured %d events, want 60000", i, s.Events)
+		}
+	}
+	if r.Coverage() != 0 {
+		t.Error("baseline should have no prefetch coverage")
+	}
+	if r.IPC() <= 0 {
+		t.Error("IPC must be positive")
+	}
+	if r.Mechanism != "next-line" {
+		t.Errorf("mechanism = %q", r.Mechanism)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	r1 := run(t, TIFS(core.DedicatedConfig()))
+	r2 := run(t, TIFS(core.DedicatedConfig()))
+	if r1.Cycles != r2.Cycles || r1.TotalInstrs != r2.TotalInstrs {
+		t.Errorf("non-deterministic: %d/%d vs %d/%d cycles/instrs",
+			r1.Cycles, r1.TotalInstrs, r2.Cycles, r2.TotalInstrs)
+	}
+}
+
+func TestFig13Ordering(t *testing.T) {
+	base := run(t, Baseline())
+	fdip := run(t, FDIP())
+	tifs := run(t, TIFS(core.DedicatedConfig()))
+	perfect := run(t, Perfect())
+
+	spFDIP := fdip.SpeedupOver(base)
+	spTIFS := tifs.SpeedupOver(base)
+	spPerfect := perfect.SpeedupOver(base)
+
+	// The paper's headline ordering on OLTP: next-line < FDIP < TIFS <
+	// perfect (Fig. 13).
+	if spFDIP < 0.99 {
+		t.Errorf("FDIP slowed the system: %.3f", spFDIP)
+	}
+	if spTIFS <= spFDIP-0.005 {
+		t.Errorf("TIFS (%.3f) should beat FDIP (%.3f) on OLTP", spTIFS, spFDIP)
+	}
+	if spPerfect < spTIFS-0.005 {
+		t.Errorf("perfect (%.3f) below TIFS (%.3f)", spPerfect, spTIFS)
+	}
+	if spTIFS < 1.005 {
+		t.Errorf("TIFS speedup %.3f, expected measurable gain on OLTP", spTIFS)
+	}
+}
+
+func TestTIFSStatsExposed(t *testing.T) {
+	r := run(t, TIFS(core.VirtualizedConfig()))
+	if r.TIFS == nil {
+		t.Fatal("TIFS stats missing")
+	}
+	if r.TIFS.StreamsAllocated == 0 || r.TIFS.LoggedMisses == 0 {
+		t.Errorf("TIFS stats empty: %+v", r.TIFS)
+	}
+	if r.Traffic.Count(uncore.TrafficIMLRead) == 0 {
+		t.Error("virtualized run produced no IML read traffic")
+	}
+	if r.Prefetch.MetaWrites == 0 {
+		t.Error("no metadata writes")
+	}
+}
+
+func TestDedicatedHasNoIMLTraffic(t *testing.T) {
+	r := run(t, TIFS(core.DedicatedConfig()))
+	if r.Traffic.Count(uncore.TrafficIMLRead) != 0 || r.Traffic.Count(uncore.TrafficIMLWrite) != 0 {
+		t.Error("dedicated IML issued L2 metadata traffic")
+	}
+}
+
+func TestProbabilisticCoverageScales(t *testing.T) {
+	low := run(t, Probabilistic(0.2))
+	high := run(t, Probabilistic(0.9))
+	if high.Coverage() <= low.Coverage() {
+		t.Errorf("coverage not increasing: %.2f vs %.2f", low.Coverage(), high.Coverage())
+	}
+	if high.Cycles >= low.Cycles {
+		t.Errorf("higher coverage should be faster: %d vs %d", high.Cycles, low.Cycles)
+	}
+}
+
+func TestDiscontinuityRuns(t *testing.T) {
+	base := run(t, Baseline())
+	r := run(t, Discontinuity())
+	if r.Coverage() == 0 {
+		t.Error("discontinuity predictor covered nothing")
+	}
+	if sp := r.SpeedupOver(base); sp < 0.98 {
+		t.Errorf("discontinuity predictor slowed the system: %.3f", sp)
+	}
+}
+
+func TestMechanismNames(t *testing.T) {
+	cases := map[string]Mechanism{
+		"next-line":        Baseline(),
+		"FDIP":             FDIP(),
+		"TIFS-unbounded":   TIFS(core.UnboundedConfig()),
+		"TIFS-dedicated":   TIFS(core.DedicatedConfig()),
+		"TIFS-virtualized": TIFS(core.VirtualizedConfig()),
+		"perfect":          Perfect(),
+		"prob-40%":         Probabilistic(0.4),
+		"discontinuity":    Discontinuity(),
+	}
+	for want, m := range cases {
+		if got := m.Name(); got != want {
+			t.Errorf("Name = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestUnknownMechanismPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown mechanism should panic")
+		}
+	}()
+	spec, _ := workload.ByName("Web-Zeus")
+	Run(spec, workload.ScaleSmall, Config{
+		EventsPerCore: 1000,
+		Mechanism:     Mechanism{Kind: "bogus"},
+	})
+}

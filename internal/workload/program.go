@@ -1,0 +1,222 @@
+package workload
+
+import (
+	"fmt"
+
+	"tifs/internal/cfg"
+	"tifs/internal/isa"
+	"tifs/internal/xrand"
+)
+
+// Region base addresses. Spaced far apart so regions can never collide at
+// any scale; the OS region sits high, as kernel text does.
+const (
+	appBase isa.Addr = 0x0010_0000
+	libBase isa.Addr = 0x2000_0000
+	osBase  isa.Addr = 0xf000_0000
+)
+
+// Average function sizes in instructions, by layer. Leaves are small hot
+// helpers (the paper's highbit() example is ~50 instructions), mid-level
+// functions are the bulk of server code, drivers are transaction bodies.
+const (
+	avgLeafInstrs   = 160
+	avgLibInstrs    = 150
+	avgMidInstrs    = 1000
+	avgDriverInstrs = 1800
+	avgOSInstrs     = 130
+)
+
+// Call densities. These govern the dynamic cost and code footprint of
+// one transaction: a driver with ~25 call sites to mid-level functions,
+// each mid calling ~10 helpers, costs ≈ 50k instructions and touches
+// ≈ 100-150 KB of code — decisively larger than the 64 KB L1-I, which is
+// the paper's core premise ("working sets overwhelm L1 instruction
+// caches"). Paths must exceed L1 or recurrences stay cache-resident and
+// produce no recurring miss streams; they must stay cheap enough that
+// every transaction type recurs many times within a trace (the paper
+// traces billions of instructions for the same reason).
+const (
+	midCallFrac    = 0.09
+	driverCallFrac = 0.20
+)
+
+// buildProgram lays out the workload's code image and returns the program
+// plus the transaction roots and OS trap handlers.
+func buildProgram(spec Spec, scale Scale, rng *xrand.Rand) (*cfg.Program, []cfg.FuncID, []cfg.FuncID) {
+	div := scale.divisor()
+	appInstrs := spec.AppKB * 1024 / isa.InstrBytes / div
+	libInstrs := spec.LibKB * 1024 / isa.InstrBytes / div
+	osInstrs := spec.OSKB * 1024 / isa.InstrBytes / div
+
+	txnTypes := spec.TxnTypes
+	if scale == ScaleSmall {
+		txnTypes = max(2, txnTypes/2)
+	}
+
+	b := cfg.NewBuilder(rng.Fork("program"))
+	app := b.Region("app", appBase)
+	lib := b.Region("lib", libBase)
+	osr := b.Region("os", osBase)
+
+	// ---- Shared library: flat helper functions callable from all mids.
+	libFuncs := addLayer(b, lib, "lib", libInstrs, avgLibInstrs, cfg.FuncSpec{
+		HammockFrac:   spec.HammockFrac * 0.8,
+		LoopFrac:      spec.LoopFrac,
+		LoopTripMax:   spec.LoopTripMax,
+		Unpredictable: spec.Unpredictable * 0.7,
+	}, nil, 0, rng)
+
+	// ---- OS kernel code reaches the fetch stream two ways, as in real
+	// systems. Syscalls sit at fixed call sites in application code — a
+	// read() in a transaction body enters the kernel at the same program
+	// point every execution — so kernel misses are *part of* the
+	// recurring temporal streams (the paper's traces include all OS
+	// fetches, Section 4.1); they are modeled as ordinary calls into
+	// OS-region syscall entries, wired into the app callee pools below.
+	// Asynchronous traps (timer/device interrupts, scheduler) strike at
+	// arbitrary points, cutting streams; they are the executor's
+	// TrapHandlers and are rare.
+	osHelperBudget := osInstrs * 45 / 100
+	osHelpers := addLayer(b, osr, "os.helper", osHelperBudget, avgOSInstrs, cfg.FuncSpec{
+		HammockFrac:   spec.HammockFrac * 1.4,
+		LoopFrac:      0.05,
+		Unpredictable: spec.Unpredictable * 0.6,
+	}, nil, 0, rng)
+	syscallBudget := osInstrs * 35 / 100
+	osEntries := addLayer(b, osr, "os.sys", syscallBudget, avgOSInstrs*2, cfg.FuncSpec{
+		HammockFrac:   spec.HammockFrac,
+		LoopFrac:      0.05,
+		CallFrac:      0.20,
+		Unpredictable: spec.Unpredictable * 0.6,
+	}, osHelpers, 6, rng)
+
+	// ---- Application: leaves, then mids calling leaves+lib+syscalls,
+	// then drivers. Drivers are few (one per transaction type), so most
+	// of the application budget goes to the mid layer that forms the bulk
+	// of each transaction's code path.
+	leafBudget := appInstrs * 25 / 100
+	driverBudget := txnTypes * avgDriverInstrs
+	midBudget := appInstrs - leafBudget - driverBudget
+	if midBudget < appInstrs/4 {
+		midBudget = appInstrs / 4
+	}
+
+	leaves := addLayer(b, app, "leaf", leafBudget, avgLeafInstrs, cfg.FuncSpec{
+		HammockFrac:   spec.HammockFrac * 1.3,
+		LoopFrac:      spec.LoopFrac * 0.6,
+		LoopTripMax:   spec.LoopTripMax,
+		Unpredictable: spec.Unpredictable,
+	}, nil, 0, rng)
+
+	midCallees := append(append([]cfg.FuncID{}, leaves...), libFuncs...)
+	midCallees = append(midCallees, osEntries...)
+	mids := addLayer(b, app, "mid", midBudget, avgMidInstrs, cfg.FuncSpec{
+		HammockFrac:   spec.HammockFrac,
+		LoopFrac:      spec.LoopFrac,
+		LoopTripMax:   spec.LoopTripMax,
+		CallFrac:      midCallFrac,
+		Unpredictable: spec.Unpredictable,
+		CalleeFanout:  spec.Fanout,
+	}, midCallees, 14, rng)
+
+	driverAvg := avgDriverInstrs
+	drivers := make([]cfg.FuncID, 0, txnTypes)
+	for i := 0; i < txnTypes; i++ {
+		// Each driver sees its own subset of mid-level functions; subsets
+		// overlap, modeling shared server infrastructure. Distinct subsets
+		// give distinct per-transaction code paths (distinct temporal
+		// streams); overlap creates streams with shared interior blocks.
+		subset := sampleIDs(rng, mids, min(len(mids), 20+rng.Intn(16)))
+		id := b.AddFunc(app, fmt.Sprintf("txn%d", i), cfg.FuncSpec{
+			Instrs:        jitter(rng, driverAvg),
+			HammockFrac:   spec.HammockFrac * 0.7,
+			LoopFrac:      spec.LoopFrac * 0.5,
+			LoopTripMax:   spec.LoopTripMax,
+			CallFrac:      driverCallFrac,
+			Callees:       subset,
+			CalleeFanout:  spec.Fanout,
+			Unpredictable: spec.Unpredictable * 0.8,
+		})
+		drivers = append(drivers, id)
+	}
+
+	// ---- Asynchronous trap handlers (scheduler, interrupt, cross-call).
+	// The scheduler is serializing (Section 3.1).
+	handlerBudget := osInstrs - osHelperBudget - syscallBudget
+	handlerAvg := max(200, handlerBudget/3)
+	handlers := make([]cfg.FuncID, 0, 3)
+	for i, name := range []string{"os.sched", "os.intr", "os.xcall"} {
+		id := b.AddFunc(osr, name, cfg.FuncSpec{
+			Instrs:        jitter(rng, handlerAvg),
+			HammockFrac:   spec.HammockFrac,
+			LoopFrac:      0.05,
+			CallFrac:      0.25,
+			Callees:       sampleIDs(rng, osHelpers, min(len(osHelpers), 8)),
+			CalleeFanout:  2,
+			Unpredictable: spec.Unpredictable * 0.6,
+			Serializing:   i == 0,
+		})
+		handlers = append(handlers, id)
+	}
+
+	return b.MustBuild(), drivers, handlers
+}
+
+// addLayer fills budget instructions with functions of roughly avg size,
+// each drawing callees (when provided) from a random subset of the pool.
+func addLayer(b *cfg.Builder, r cfg.Region, prefix string, budget, avg int, base cfg.FuncSpec, calleePool []cfg.FuncID, calleesPerFunc int, rng *xrand.Rand) []cfg.FuncID {
+	var ids []cfg.FuncID
+	spent := 0
+	for i := 0; spent < budget; i++ {
+		spec := base
+		spec.Instrs = jitter(rng, avg)
+		if len(calleePool) > 0 && calleesPerFunc > 0 {
+			spec.Callees = sampleIDs(rng, calleePool, min(len(calleePool), calleesPerFunc))
+		}
+		id := b.AddFunc(r, fmt.Sprintf("%s%d", prefix, i), spec)
+		ids = append(ids, id)
+		spent += spec.Instrs
+	}
+	return ids
+}
+
+// jitter perturbs avg by ±35% for natural size variety.
+func jitter(rng *xrand.Rand, avg int) int {
+	lo := avg * 65 / 100
+	hi := avg * 135 / 100
+	if hi <= lo {
+		return max(4, avg)
+	}
+	return rng.Range(lo, hi)
+}
+
+// sampleIDs picks n distinct elements from pool (order randomized).
+func sampleIDs(rng *xrand.Rand, pool []cfg.FuncID, n int) []cfg.FuncID {
+	if n >= len(pool) {
+		out := make([]cfg.FuncID, len(pool))
+		copy(out, pool)
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out
+	}
+	perm := rng.Perm(len(pool))
+	out := make([]cfg.FuncID, n)
+	for i := 0; i < n; i++ {
+		out[i] = pool[perm[i]]
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,174 @@
+// Package tifs is the public API of the Temporal Instruction Fetch
+// Streaming reproduction (Ferdman et al., MICRO-41 2008).
+//
+// It exposes the pieces a downstream user composes:
+//
+//   - the six Table-I commercial server workload models
+//     (Workloads, BuildWorkload);
+//   - the L1-I miss-trace machinery and the paper's miss definition
+//     (ExtractMisses);
+//   - the offline SEQUITUR opportunity analyses of Figs. 3-6
+//     (Categorize, Heuristics, StreamLengths);
+//   - the cycle-accounted CMP simulator with pluggable prefetchers —
+//     next-line baseline, FDIP, the TIFS variants, and bounds
+//     (Simulate, mechanism constructors);
+//   - every evaluation experiment as a named runner
+//     (Experiments, RunExperiment).
+//
+// See examples/quickstart for a three-call tour, and DESIGN.md for the
+// system inventory and the substitutions made for the paper's
+// full-system trace infrastructure.
+package tifs
+
+import (
+	"fmt"
+
+	"tifs/internal/analysis"
+	"tifs/internal/core"
+	"tifs/internal/experiments"
+	"tifs/internal/isa"
+	"tifs/internal/sim"
+	"tifs/internal/trace"
+	"tifs/internal/workload"
+)
+
+// Re-exported workload types.
+type (
+	// WorkloadSpec describes one Table-I workload model.
+	WorkloadSpec = workload.Spec
+	// Workload is an instantiated workload (program + per-core sources).
+	Workload = workload.Generated
+	// Scale selects workload size (small, medium, full).
+	Scale = workload.Scale
+)
+
+// Scales.
+const (
+	ScaleSmall  = workload.ScaleSmall
+	ScaleMedium = workload.ScaleMedium
+	ScaleFull   = workload.ScaleFull
+)
+
+// Workloads returns the six Table-I workload specifications.
+func Workloads() []WorkloadSpec { return workload.Suite() }
+
+// WorkloadByName finds a workload ("OLTP-DB2", "OLTP-Oracle", "DSS-Qry2",
+// "DSS-Qry17", "Web-Apache", "Web-Zeus").
+func WorkloadByName(name string) (WorkloadSpec, error) {
+	s, ok := workload.ByName(name)
+	if !ok {
+		return WorkloadSpec{}, fmt.Errorf("tifs: unknown workload %q (have %v)", name, workload.Names())
+	}
+	return s, nil
+}
+
+// ParseScale converts "small", "medium", or "full".
+func ParseScale(s string) (Scale, error) { return workload.ParseScale(s) }
+
+// BuildWorkload instantiates a workload for the given core count.
+func BuildWorkload(spec WorkloadSpec, scale Scale, cores int) *Workload {
+	return workload.Build(spec, scale, cores)
+}
+
+// MissRecord is one filtered L1-I miss (the paper's Section 4.1
+// definition: not satisfied by the 64 KB 2-way L1-I nor the
+// two-block-ahead next-line prefetcher).
+type MissRecord = trace.MissRecord
+
+// Block is a 64-byte cache block number.
+type Block = isa.Block
+
+// ExtractMisses runs the miss filter over up to maxEvents events of one
+// core's fetch stream.
+func ExtractMisses(w *Workload, coreID int, maxEvents uint64) []MissRecord {
+	return trace.ExtractMisses(w.Sources()[coreID], maxEvents, trace.ExtractorConfig{})
+}
+
+// MissBlocks projects miss records to their block numbers.
+func MissBlocks(recs []MissRecord) []Block { return trace.Blocks(recs) }
+
+// Categorization is the SEQUITUR opportunity accounting of Fig. 3/4.
+type Categorization = analysis.Categorization
+
+// Categorize classifies every miss in the block sequence as Opportunity,
+// Head, New, or Non-repetitive.
+func Categorize(blocks []Block) *Categorization { return analysis.Categorize(blocks) }
+
+// HeuristicResult reports one Fig. 6 lookup policy's coverage.
+type HeuristicResult = analysis.HeuristicResult
+
+// Heuristics evaluates the First/Digram/Recent/Longest stream-lookup
+// policies on a miss-block sequence.
+func Heuristics(blocks []Block) []HeuristicResult {
+	return analysis.EvaluateHeuristics(blocks)
+}
+
+// Simulation types.
+type (
+	// SimConfig configures one simulation run.
+	SimConfig = sim.Config
+	// SimResult is a run's outcome (cycles, coverage, traffic, ...).
+	SimResult = sim.Result
+	// Mechanism selects the instruction prefetcher under test.
+	Mechanism = sim.Mechanism
+	// TIFSConfig parameterizes the TIFS hardware (IML size,
+	// virtualization, SVB, lookahead, end-of-stream, failure injection).
+	TIFSConfig = core.Config
+)
+
+// Mechanism constructors.
+var (
+	// NextLineOnly is the paper's baseline system.
+	NextLineOnly = sim.Baseline
+	// FDIP is fetch-directed instruction prefetching (Reinman et al.).
+	FDIP = sim.FDIP
+	// Perfect is the instant-streaming upper bound.
+	Perfect = sim.Perfect
+	// Probabilistic is the Fig. 1 coverage-sweep mechanism.
+	Probabilistic = sim.Probabilistic
+	// Discontinuity is the discontinuity predictor (Spracklen et al.).
+	Discontinuity = sim.Discontinuity
+	// TIFS wraps a TIFSConfig as a mechanism.
+	TIFS = sim.TIFS
+)
+
+// TIFS configurations from the paper's Fig. 13.
+var (
+	// TIFSUnbounded has an unbounded IML.
+	TIFSUnbounded = core.UnboundedConfig
+	// TIFSDedicated uses 8K dedicated IML entries per core (156 KB total
+	// on 4 cores).
+	TIFSDedicated = core.DedicatedConfig
+	// TIFSVirtualized stores the IML in the L2 data array.
+	TIFSVirtualized = core.VirtualizedConfig
+)
+
+// Simulate runs one configuration of the 4-core CMP over the workload.
+func Simulate(spec WorkloadSpec, scale Scale, cfg SimConfig) SimResult {
+	return sim.Run(spec, scale, cfg)
+}
+
+// ExperimentOptions scope an experiment run.
+type ExperimentOptions = experiments.Options
+
+// Experiment is a named, runnable reproduction of one paper table or
+// figure.
+type Experiment = experiments.Runner
+
+// Experiments lists every reproducible table/figure and ablation.
+func Experiments() []Experiment { return experiments.Registry() }
+
+// RunExperiment executes one experiment by ID ("fig1", "fig3", "fig5",
+// "fig6", "fig10", "fig11", "fig12", "fig13", "table1", "table2",
+// "ablation-svb", "ablation-eos", "ablation-drops") and returns its
+// rendered table.
+func RunExperiment(id string, o ExperimentOptions) (string, error) {
+	r, ok := experiments.ByID(id)
+	if !ok {
+		return "", fmt.Errorf("tifs: unknown experiment %q (have %v)", id, experiments.IDs())
+	}
+	return r.Run(o), nil
+}
+
+// RunAllExperiments executes the full registry in paper order.
+func RunAllExperiments(o ExperimentOptions) string { return experiments.RunAll(o) }

@@ -1,0 +1,87 @@
+package tifs_test
+
+import (
+	"strings"
+	"testing"
+
+	"tifs"
+)
+
+func TestWorkloadsAPI(t *testing.T) {
+	ws := tifs.Workloads()
+	if len(ws) != 6 {
+		t.Fatalf("workloads = %d", len(ws))
+	}
+	if _, err := tifs.WorkloadByName("OLTP-Oracle"); err != nil {
+		t.Error(err)
+	}
+	if _, err := tifs.WorkloadByName("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := tifs.ParseScale("medium"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMissExtractionAndAnalyses(t *testing.T) {
+	spec, _ := tifs.WorkloadByName("Web-Zeus")
+	w := tifs.BuildWorkload(spec, tifs.ScaleSmall, 1)
+	misses := tifs.ExtractMisses(w, 0, 100_000)
+	if len(misses) == 0 {
+		t.Fatal("no misses")
+	}
+	blocks := tifs.MissBlocks(misses)
+	cat := tifs.Categorize(blocks)
+	if cat.Counts.Total() != uint64(len(misses)) {
+		t.Error("categorization total mismatch")
+	}
+	hs := tifs.Heuristics(blocks)
+	if len(hs) != 4 {
+		t.Errorf("heuristics = %d", len(hs))
+	}
+}
+
+func TestSimulateAPI(t *testing.T) {
+	spec, _ := tifs.WorkloadByName("DSS-Qry2")
+	r := tifs.Simulate(spec, tifs.ScaleSmall, tifs.SimConfig{
+		EventsPerCore: 40_000,
+		Mechanism:     tifs.TIFS(tifs.TIFSDedicated()),
+	})
+	if r.Cycles == 0 {
+		t.Fatal("no cycles")
+	}
+	if r.TIFS == nil {
+		t.Error("TIFS stats missing")
+	}
+}
+
+func TestExperimentRegistryAPI(t *testing.T) {
+	if len(tifs.Experiments()) < 13 {
+		t.Errorf("registry has %d entries", len(tifs.Experiments()))
+	}
+	out, err := tifs.RunExperiment("table2", tifs.ExperimentOptions{Scale: tifs.ScaleSmall})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "8MB 16-way") {
+		t.Errorf("table2 output missing L2 row:\n%s", out)
+	}
+	if _, err := tifs.RunExperiment("fig99", tifs.ExperimentOptions{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestExperimentSingleWorkload(t *testing.T) {
+	out, err := tifs.RunExperiment("fig6", tifs.ExperimentOptions{
+		Scale:     tifs.ScaleSmall,
+		Events:    80_000,
+		Cores:     1,
+		Workloads: []string{"DSS-Qry17"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "DSS-Qry17") || strings.Contains(out, "OLTP") {
+		t.Errorf("workload filter not applied:\n%s", out)
+	}
+}

@@ -1,0 +1,76 @@
+// Command align compares the miss sequences of consecutive executions of
+// one transaction type to find what makes recurrences diverge.
+package main
+
+import (
+	"fmt"
+
+	"tifs/internal/cfg"
+	"tifs/internal/isa"
+	"tifs/internal/trace"
+	"tifs/internal/workload"
+)
+
+func main() {
+	spec, _ := workload.ByName("OLTP-DB2")
+	g := workload.Build(spec, workload.ScaleMedium, 1)
+
+	// Single txn type, single thread, no traps: the purest recurrence.
+	x := cfg.NewExecutor(g.Program, cfg.ExecConfig{
+		Roots: g.Roots[:1],
+		Seed:  "align",
+	})
+
+	driverEntry := g.Program.Func(g.Roots[0]).Entry
+
+	// Collect misses, split into per-execution sequences at driver entry.
+	var execsMisses [][]isa.Block
+	var cur []isa.Block
+	ext := trace.NewExtractor(trace.ExtractorConfig{}, func(m trace.MissRecord) {
+		cur = append(cur, m.Block)
+	})
+	for i := 0; i < 3_000_000; i++ {
+		ev, _ := x.Next()
+		if ev.PC == driverEntry && len(cur) > 0 {
+			execsMisses = append(execsMisses, cur)
+			cur = nil
+		}
+		ext.Feed(ev)
+		if len(execsMisses) >= 40 {
+			break
+		}
+	}
+
+	fmt.Printf("executions captured: %d\n", len(execsMisses))
+	for i := 1; i < len(execsMisses) && i <= 20; i++ {
+		a, b := execsMisses[i-1], execsMisses[i]
+		setA := map[isa.Block]bool{}
+		for _, blk := range a {
+			setA[blk] = true
+		}
+		setB := map[isa.Block]bool{}
+		for _, blk := range b {
+			setB[blk] = true
+		}
+		onlyA, onlyB, common := 0, 0, 0
+		for blk := range setA {
+			if setB[blk] {
+				common++
+			} else {
+				onlyA++
+			}
+		}
+		for blk := range setB {
+			if !setA[blk] {
+				onlyB++
+			}
+		}
+		// Longest common prefix as a cheap order-stability signal.
+		lcp := 0
+		for lcp < len(a) && lcp < len(b) && a[lcp] == b[lcp] {
+			lcp++
+		}
+		fmt.Printf("exec %2d->%2d: lenA=%-4d lenB=%-4d common=%-4d onlyA=%-3d onlyB=%-3d lcp=%d\n",
+			i-1, i, len(a), len(b), common, onlyA, onlyB, lcp)
+	}
+}

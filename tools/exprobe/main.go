@@ -1,0 +1,16 @@
+package main
+
+import (
+	"fmt"
+
+	"tifs/internal/experiments"
+	"tifs/internal/workload"
+)
+
+func main() {
+	o := experiments.Options{Scale: workload.ScaleSmall, Workloads: []string{"OLTP-DB2", "DSS-Qry17"}}
+	for _, id := range []string{"table1", "fig3", "fig6", "fig12", "fig13"} {
+		r, _ := experiments.ByID(id)
+		fmt.Println(r.Run(o))
+	}
+}

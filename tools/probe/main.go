@@ -1,0 +1,60 @@
+// Command probe isolates stream-shattering causes by toggling workload
+// features one at a time on a single-core OLTP-like configuration.
+package main
+
+import (
+	"fmt"
+
+	"tifs/internal/analysis"
+	"tifs/internal/cfg"
+	"tifs/internal/trace"
+	"tifs/internal/workload"
+)
+
+func run(name string, mut func(*workload.Spec), execMut func(*cfg.ExecConfig)) {
+	spec, _ := workload.ByName("OLTP-DB2")
+	if mut != nil {
+		mut(&spec)
+	}
+	g := workload.Build(spec, workload.ScaleMedium, 1)
+	src := g.Sources()[0]
+	_ = execMut
+
+	var recs []trace.MissRecord
+	e := trace.NewExtractor(trace.ExtractorConfig{}, func(m trace.MissRecord) { recs = append(recs, m) })
+	e.Run(src, 1_000_000)
+	seq := trace.Blocks(recs)
+	cat := analysis.Categorize(seq)
+	rec := analysis.EvaluateHeuristic(analysis.PolicyRecent, seq)
+	fmt.Printf("%-28s misses=%-6d opp=%5.1f%% rep=%5.1f%% head=%4.1f%% medlen=%-3d wmed=%-4d recent=%5.1f%%\n",
+		name, len(seq), 100*cat.OpportunityFrac(), 100*cat.RepetitiveFrac(),
+		100*cat.Counts.Fraction(analysis.CatHead),
+		cat.StreamLengths.Percentile(0.5), cat.StreamLengths.WeightedMedian(),
+		100*rec.Coverage())
+}
+
+func main() {
+	run("baseline", nil, nil)
+	run("no-traps", func(s *workload.Spec) { s.TrapMeanInstrs = 0; s.ContextSwitchProb = 0 }, nil)
+	run("1-thread", func(s *workload.Spec) { s.ThreadsPerCore = 1 }, nil)
+	run("no-traps+1thread", func(s *workload.Spec) {
+		s.TrapMeanInstrs = 0
+		s.ThreadsPerCore = 1
+	}, nil)
+	run("mono-calls", func(s *workload.Spec) { s.Fanout = 1 }, nil)
+	run("no-unpred", func(s *workload.Spec) { s.Unpredictable = 0 }, nil)
+	run("1-txn-type", func(s *workload.Spec) { s.TxnTypes = 4 }, nil)
+	run("sterile", func(s *workload.Spec) {
+		s.TrapMeanInstrs = 0
+		s.ThreadsPerCore = 1
+		s.Fanout = 1
+		s.Unpredictable = 0
+	}, nil)
+	run("sterile+4txn", func(s *workload.Spec) {
+		s.TrapMeanInstrs = 0
+		s.ThreadsPerCore = 1
+		s.Fanout = 1
+		s.Unpredictable = 0
+		s.TxnTypes = 4
+	}, nil)
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"tifs/internal/core"
+	"tifs/internal/sim"
+	"tifs/internal/workload"
+)
+
+func main() {
+	spec, _ := workload.ByName("OLTP-DB2")
+	mechs := []sim.Mechanism{
+		sim.Baseline(), sim.FDIP(),
+		sim.TIFS(core.UnboundedConfig()),
+		sim.TIFS(core.DedicatedConfig()),
+		sim.TIFS(core.VirtualizedConfig()),
+		sim.Perfect(),
+	}
+	var base sim.Result
+	for _, m := range mechs {
+		t0 := time.Now()
+		scale := workload.ScaleMedium
+		events := uint64(600_000)
+		r := sim.Run(spec, scale, sim.Config{EventsPerCore: events, Mechanism: m})
+		el := time.Since(t0)
+		if m.Kind == sim.KindNone {
+			base = r
+		}
+		var nl, pfS, ms, hitsT, hitsL, nlLate, misses, pfHits uint64
+		for _, s := range r.PerCore {
+			nl += s.StallNextLine
+			pfS += s.StallPrefetch
+			ms += s.StallMiss
+			nlLate += s.NextLineLate
+			misses += s.Misses
+			pfHits += s.PrefetchHits
+		}
+		hitsT = r.Prefetch.HitsTimely
+		hitsL = r.Prefetch.HitsLate
+		fmt.Printf("%-16s cyc=%-9d IPC=%5.3f st=%4.1f%% [nl=%d pf=%d ms=%d] cov=%5.1f%% T/L=%d/%d nlL=%d m=%d d=%4.1f%% spd=%6.3f ovh=%4.1f%% (%.1fs)\n",
+			r.Mechanism, r.Cycles, r.IPC(), 100*r.FetchStallShare(), nl/1000, pfS/1000, ms/1000,
+			100*r.Coverage(), hitsT, hitsL, nlLate, misses, 100*r.DiscardFrac(),
+			r.SpeedupOver(base), 100*r.Traffic.OverheadFrac(func() uint64 {
+				var h uint64
+				for _, s := range r.PerCore { h += s.PrefetchHits }
+				return h
+			}()), el.Seconds())
+	}
+}
