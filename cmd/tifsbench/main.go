@@ -23,6 +23,7 @@ func main() {
 		workloads  = flag.String("workloads", "", "comma-separated workload subset (default: all six)")
 		events     = flag.Uint64("events", 0, "override per-core event budget (0 = scale default)")
 		cores      = flag.Int("cores", 4, "number of cores")
+		parallel   = flag.Int("parallelism", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -39,7 +40,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	o := tifs.ExperimentOptions{Scale: scale, Events: *events, Cores: *cores}
+	o := tifs.ExperimentOptions{Scale: scale, Events: *events, Cores: *cores, Parallelism: *parallel}
 	if *workloads != "" {
 		for _, w := range strings.Split(*workloads, ",") {
 			name := strings.TrimSpace(w)

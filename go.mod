@@ -1,0 +1,3 @@
+module tifs
+
+go 1.24

@@ -72,14 +72,15 @@ type way struct {
 }
 
 // Cache is a set-associative cache with true-LRU replacement over block
-// addresses.
+// addresses. Ways are stored as one flat array indexed set*assoc so the
+// hot lookup path is a single bounds-checked slice scan.
 type Cache struct {
-	cfg      Config
-	sets     [][]way
-	setMask  uint64
-	setShift uint
-	clock    uint64
-	stats    Stats
+	cfg     Config
+	ways    []way
+	assoc   int
+	setMask uint64
+	clock   uint64
+	stats   Stats
 }
 
 // New builds a cache; it panics on an invalid configuration (sizes are
@@ -90,34 +91,33 @@ func New(cfg Config) *Cache {
 		panic(err)
 	}
 	numSets := cfg.SizeBytes / isa.BlockBytes / cfg.Assoc
-	c := &Cache{
+	return &Cache{
 		cfg:     cfg,
-		sets:    make([][]way, numSets),
+		ways:    make([]way, numSets*cfg.Assoc),
+		assoc:   cfg.Assoc,
 		setMask: uint64(numSets - 1),
 	}
-	backing := make([]way, numSets*cfg.Assoc)
-	for i := range c.sets {
-		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
-	}
-	return c
 }
 
 // Config returns the cache geometry.
 func (c *Cache) Config() Config { return c.cfg }
 
 // NumSets returns the number of sets.
-func (c *Cache) NumSets() int { return len(c.sets) }
+func (c *Cache) NumSets() int { return len(c.ways) / c.assoc }
 
 // Stats returns a copy of the activity counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
-// set returns the set index for a block.
-func (c *Cache) set(b isa.Block) uint64 { return uint64(b) & c.setMask }
+// set returns the flat-array slice holding b's set.
+func (c *Cache) set(b isa.Block) []way {
+	base := int(uint64(b)&c.setMask) * c.assoc
+	return c.ways[base : base+c.assoc]
+}
 
 // find returns the way holding b, or nil.
 func (c *Cache) find(b isa.Block) *way {
 	tag := uint64(b)
-	s := c.sets[c.set(b)]
+	s := c.set(b)
 	for i := range s {
 		if s[i].valid && s[i].tag == tag {
 			return &s[i]
@@ -153,7 +153,7 @@ func (c *Cache) Fill(b isa.Block) (evicted isa.Block, ok bool) {
 		return 0, false
 	}
 	c.stats.Fills++
-	s := c.sets[c.set(b)]
+	s := c.set(b)
 	victim := &s[0]
 	for i := range s {
 		if !s[i].valid {
@@ -188,11 +188,9 @@ func (c *Cache) Invalidate(b isa.Block) bool {
 // Occupancy returns the number of valid blocks currently resident.
 func (c *Cache) Occupancy() int {
 	n := 0
-	for _, s := range c.sets {
-		for i := range s {
-			if s[i].valid {
-				n++
-			}
+	for i := range c.ways {
+		if c.ways[i].valid {
+			n++
 		}
 	}
 	return n

@@ -146,6 +146,21 @@ func (x *Executor) Next() (isa.BlockEvent, bool) {
 	return x.stepThread(), true
 }
 
+// NextBatch implements isa.BatchSource: one dynamic dispatch fills a
+// whole buffer, and events are written in place instead of being copied
+// through the Next return path. The executor is infinite, so dst is
+// always filled completely.
+func (x *Executor) NextBatch(dst []isa.BlockEvent) int {
+	for i := range dst {
+		if x.inTrap {
+			dst[i] = x.stepTrap()
+		} else {
+			dst[i] = x.stepThread()
+		}
+	}
+	return len(dst)
+}
+
 // stepThread executes one basic block of the active thread.
 func (x *Executor) stepThread() isa.BlockEvent {
 	t := x.threads[x.active]

@@ -45,6 +45,10 @@ type Config struct {
 	// PredictorEntries sizes the core's hybrid branch predictor
 	// (default 16K).
 	PredictorEntries int
+	// EventBudget bounds how many events the core pulls from its source
+	// (0 = unlimited). It replaces wrapping infinite executors in an
+	// isa.Limit, saving one interface dispatch per event on the hot path.
+	EventBudget uint64
 	// BackendCPI is the calibrated per-instruction back-end stall adder.
 	BackendCPI float64
 	// DataBlocksPer1kInstr is the synthetic data-side L2 traffic rate
@@ -99,7 +103,7 @@ type Stats struct {
 	// paper's bottleneck metric. StallNextLine, StallPrefetch, and
 	// StallMiss attribute it to in-flight next-line hits, in-flight
 	// prefetcher hits, and demand misses respectively.
-	FetchStallCycles uint64
+	FetchStallCycles                        uint64
 	StallNextLine, StallPrefetch, StallMiss uint64
 	// BranchMispredicts counts conditional mispredictions.
 	BranchMispredicts, Branches uint64
@@ -124,12 +128,8 @@ func (s Stats) FetchStallShare() float64 {
 	return float64(s.FetchStallCycles) / float64(s.Cycles)
 }
 
-// nlEntry tracks an in-flight/completed next-line prefetch.
-type nlEntry struct {
-	block isa.Block
-	ready uint64
-	used  uint64 // insertion order for FIFO replacement
-}
+// nlCapacity is the next-line buffer size in blocks.
+const nlCapacity = 64
 
 // Core is one simulated core bound to its event source, prefetcher, and
 // the shared uncore.
@@ -137,16 +137,35 @@ type Core struct {
 	ID  int
 	cfg Config
 
-	l1     *cache.Cache
-	pred   *branch.Hybrid
-	pf     prefetch.Prefetcher
-	un     *uncore.L2
-	src    isa.EventSource
-	window []isa.BlockEvent
+	l1        *cache.Cache
+	pred      *branch.Hybrid
+	pf        prefetch.Prefetcher
+	pfNone    bool // fast path: skip prefetcher dispatch entirely
+	un        *uncore.L2
+	src       isa.EventSource
+	batchSrc  isa.BatchSource // non-nil when src supports batch refills
+	srcBudget uint64          // events still allowed from src (if budgeted)
+	budgeted  bool
 
-	nl      []nlEntry
+	// window is the fetch-target queue, consumed from head; events are
+	// appended at the tail and the slice is compacted only when head
+	// reaches WindowEvents, so the per-step cost is O(1) instead of an
+	// O(window) memmove.
+	window []isa.BlockEvent
+	head   int
+
+	// Next-line prefetch buffer in struct-of-arrays layout: membership
+	// scans touch only the densely packed block numbers. nlCount is an
+	// exact counting filter over low block bits: a zero bucket proves
+	// absence, so the common no-match lookup skips the scan.
+	nlBlock []isa.Block
+	nlReady []uint64
+	nlUsed  []uint64
+	nlCount [256]uint8
 	nlSeq   uint64
+
 	execAcc float64 // fractional execution cycles
+	execCPI float64 // hoisted 1/Width + BackendCPI (same expression tree)
 	dataAcc float64 // fractional synthetic data-traffic blocks
 
 	cycle uint64
@@ -161,14 +180,22 @@ func New(id int, cfg Config, src isa.EventSource, pf prefetch.Prefetcher, un *un
 		pf = prefetch.None{}
 	}
 	c := &Core{
-		ID:   id,
-		cfg:  cfg,
-		l1:   cache.New(cfg.L1I),
-		pred: branch.NewHybrid(cfg.PredictorEntries),
-		pf:   pf,
-		un:   un,
-		src:  src,
+		ID:        id,
+		cfg:       cfg,
+		l1:        cache.New(cfg.L1I),
+		pred:      branch.NewHybrid(cfg.PredictorEntries),
+		un:        un,
+		src:       src,
+		srcBudget: cfg.EventBudget,
+		budgeted:  cfg.EventBudget > 0,
+		window:    make([]isa.BlockEvent, 0, 2*cfg.WindowEvents),
+		nlBlock:   make([]isa.Block, 0, nlCapacity),
+		nlReady:   make([]uint64, 0, nlCapacity),
+		nlUsed:    make([]uint64, 0, nlCapacity),
+		execCPI:   1.0/float64(cfg.Width) + cfg.BackendCPI,
 	}
+	c.batchSrc, _ = src.(isa.BatchSource)
+	c.SetPrefetcher(pf)
 	return c
 }
 
@@ -199,73 +226,137 @@ func (c *Core) SetPrefetcher(pf prefetch.Prefetcher) {
 		pf = prefetch.None{}
 	}
 	c.pf = pf
+	_, c.pfNone = pf.(prefetch.None)
 }
 
-// fillWindow tops up the fetch-target queue.
+// fillWindow tops up the fetch-target queue, compacting the consumed
+// prefix only when it has grown to a full window's worth of slots.
+//
+// With no prefetcher attached nothing observes the window contents, so
+// the queue refills lazily in full batches through isa.BatchSource when
+// available: one dynamic dispatch per window instead of per event, with
+// events written in place. Prefetchers get the original per-event refill
+// so OnWindow always sees a full lookahead window.
 func (c *Core) fillWindow() {
-	for len(c.window) < c.cfg.WindowEvents {
+	if c.head >= c.cfg.WindowEvents {
+		n := copy(c.window, c.window[c.head:])
+		c.window = c.window[:n]
+		c.head = 0
+	}
+	if c.pfNone && c.batchSrc != nil {
+		if c.head < len(c.window) {
+			return // still events queued; nobody needs a full window
+		}
+		want := c.cfg.WindowEvents
+		if c.budgeted {
+			if c.srcBudget == 0 {
+				return
+			}
+			if uint64(want) > c.srcBudget {
+				want = int(c.srcBudget)
+			}
+		}
+		base := len(c.window)
+		c.window = c.window[:base+want]
+		n := c.batchSrc.NextBatch(c.window[base:])
+		c.window = c.window[:base+n]
+		if c.budgeted {
+			c.srcBudget -= uint64(n)
+		}
+		if n < want {
+			c.srcBudget = 0
+			c.budgeted = true
+		}
+		return
+	}
+	for len(c.window)-c.head < c.cfg.WindowEvents {
+		if c.budgeted {
+			if c.srcBudget == 0 {
+				return
+			}
+			c.srcBudget--
+		}
 		ev, ok := c.src.Next()
 		if !ok {
-			break
+			c.srcBudget = 0
+			return
 		}
 		c.window = append(c.window, ev)
 	}
 }
 
+// nlFind returns the buffer index holding b, or -1. It scans backwards:
+// probed blocks are almost always the ones appended moments ago, so the
+// match sits near the tail and the scan is a handful of iterations.
+func (c *Core) nlFind(b isa.Block) int {
+	if c.nlCount[uint64(b)&255] == 0 {
+		return -1
+	}
+	for i := len(c.nlBlock) - 1; i >= 0; i-- {
+		if c.nlBlock[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// nlRemove deletes entry i (order is irrelevant; replacement is by age
+// stamp, so swap-delete is safe).
+func (c *Core) nlRemove(i int) {
+	c.nlCount[uint64(c.nlBlock[i])&255]--
+	last := len(c.nlBlock) - 1
+	c.nlBlock[i] = c.nlBlock[last]
+	c.nlReady[i] = c.nlReady[last]
+	c.nlUsed[i] = c.nlUsed[last]
+	c.nlBlock = c.nlBlock[:last]
+	c.nlReady = c.nlReady[:last]
+	c.nlUsed = c.nlUsed[:last]
+}
+
 // nlDrop removes a stale next-line copy superseded by a prefetcher hit.
 func (c *Core) nlDrop(b isa.Block) {
-	for i := range c.nl {
-		if c.nl[i].block == b {
-			c.nl = append(c.nl[:i], c.nl[i+1:]...)
-			return
-		}
+	if i := c.nlFind(b); i >= 0 {
+		c.nlRemove(i)
 	}
 }
 
 // nlProbe checks the next-line buffer, consuming on hit.
 func (c *Core) nlProbe(b isa.Block) (uint64, bool) {
-	for i := range c.nl {
-		if c.nl[i].block == b {
-			ready := c.nl[i].ready
-			c.nl = append(c.nl[:i], c.nl[i+1:]...)
-			return ready, true
-		}
+	i := c.nlFind(b)
+	if i < 0 {
+		return 0, false
 	}
-	return 0, false
+	ready := c.nlReady[i]
+	c.nlRemove(i)
+	return ready, true
 }
 
 // nlIssue starts next-line prefetches for the blocks after b.
 func (c *Core) nlIssue(b isa.Block, now uint64) {
-	const nlCapacity = 64
 	for d := 1; d <= c.cfg.NextLineDepth; d++ {
 		nb := b + isa.Block(d)
-		if c.l1.Contains(nb) {
-			continue
-		}
-		dup := false
-		for i := range c.nl {
-			if c.nl[i].block == nb {
-				dup = true
-				break
-			}
-		}
-		if dup {
+		if c.l1.Contains(nb) || c.nlFind(nb) >= 0 {
 			continue
 		}
 		ready := c.un.ReadBlock(c.ID, nb, now, uncore.TrafficNextLine)
 		c.nlSeq++
-		e := nlEntry{block: nb, ready: ready, used: c.nlSeq}
-		if len(c.nl) < nlCapacity {
-			c.nl = append(c.nl, e)
+		c.nlCount[uint64(nb)&255]++
+		if len(c.nlBlock) < nlCapacity {
+			c.nlBlock = append(c.nlBlock, nb)
+			c.nlReady = append(c.nlReady, ready)
+			c.nlUsed = append(c.nlUsed, c.nlSeq)
 			continue
 		}
 		oldest := 0
-		for i := 1; i < len(c.nl); i++ {
-			if c.nl[i].used < c.nl[oldest].used {
+		for i := 1; i < len(c.nlUsed); i++ {
+			if c.nlUsed[i] < c.nlUsed[oldest] {
 				oldest = i
 			}
 		}
-		c.nl[oldest] = e
+		c.nlCount[uint64(c.nlBlock[oldest])&255]--
+		c.nlBlock[oldest] = nb
+		c.nlReady[oldest] = ready
+		c.nlUsed[oldest] = c.nlSeq
 	}
 }
 
@@ -292,12 +383,14 @@ func (c *Core) stall(ready uint64, serializing bool, attr *uint64) {
 // is exhausted.
 func (c *Core) Step() bool {
 	c.fillWindow()
-	if len(c.window) == 0 {
+	if c.head >= len(c.window) {
 		c.done = true
 		return false
 	}
-	ev := c.window[0]
-	c.pf.OnWindow(c.window, c.cycle)
+	ev := &c.window[c.head]
+	if !c.pfNone {
+		c.pf.OnWindow(c.window[c.head:], c.cycle)
+	}
 
 	if ev.Serializing {
 		c.stats.Serializations++
@@ -312,7 +405,9 @@ func (c *Core) Step() bool {
 	// reported as a miss so TIFS logs it — this is how temporal streaming
 	// comes to cover the sequential blocks after a discontinuity that
 	// next-line cannot fetch timely (Sections 3.1, 7).
-	ev.VisitBlocks(func(b isa.Block) bool {
+	first := ev.PC.Block()
+	last := ev.LastPC().Block()
+	for b := first; b <= last; b++ {
 		c.stats.BlockFetches++
 		var outcome prefetch.FetchOutcome
 		switch {
@@ -320,7 +415,7 @@ func (c *Core) Step() bool {
 			outcome = prefetch.FetchL1Hit
 			c.stats.L1Hits++
 		default:
-			if ready, ok := c.pf.Probe(b, c.cycle); ok {
+			if ready, ok := c.probePf(b); ok {
 				outcome = prefetch.FetchPrefetchHit
 				c.stats.PrefetchHits++
 				c.stall(ready, ev.Serializing, &c.stats.StallPrefetch)
@@ -344,13 +439,14 @@ func (c *Core) Step() bool {
 			}
 			c.l1.Fill(b)
 		}
-		c.pf.OnFetchBlock(b, outcome, c.cycle)
+		if !c.pfNone {
+			c.pf.OnFetchBlock(b, outcome, c.cycle)
+		}
 		c.nlIssue(b, c.cycle)
-		return true
-	})
+	}
 
 	// Execute: width-limited dispatch plus the calibrated back-end adder.
-	c.execAcc += float64(ev.Instrs) * (1.0/float64(c.cfg.Width) + c.cfg.BackendCPI)
+	c.execAcc += float64(ev.Instrs) * c.execCPI
 	if c.execAcc >= 1 {
 		whole := uint64(c.execAcc)
 		c.cycle += whole
@@ -375,11 +471,20 @@ func (c *Core) Step() bool {
 		c.pred.Update(ev.LastPC(), ev.Taken)
 	}
 
-	c.pf.OnEvent(ev, c.cycle)
+	if !c.pfNone {
+		c.pf.OnEvent(*ev, c.cycle)
+	}
 	c.stats.Events++
 	c.stats.Instrs += uint64(ev.Instrs)
-	// Shift the window in place (bounded, allocation-free).
-	copy(c.window, c.window[1:])
-	c.window = c.window[:len(c.window)-1]
+	c.head++ // consume; compaction is amortized in fillWindow
 	return true
+}
+
+// probePf asks the attached prefetcher for b, skipping the interface
+// dispatch entirely on the next-line-only baseline.
+func (c *Core) probePf(b isa.Block) (uint64, bool) {
+	if c.pfNone {
+		return 0, false
+	}
+	return c.pf.Probe(b, c.cycle)
 }

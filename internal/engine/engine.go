@@ -1,0 +1,200 @@
+// Package engine schedules simulation work across goroutines. Every data
+// point of the paper's evaluation — one (workload, mechanism, config)
+// simulation — is independent, so an experiment's grid fans out over a
+// bounded worker pool and completes in makespan rather than sum time.
+//
+// The engine also deduplicates and memoizes: the next-line baseline that
+// fig1, fig13, and the ablations each re-simulate per workload runs once
+// and its Result is shared, and the per-core miss traces that fig3, fig5,
+// fig6, fig10, and fig11 all extract from the same workload build are
+// computed once. Simulations are pure functions of their (spec, scale,
+// config) key — all randomness is instance-seeded (internal/xrand), so
+// caching cannot change any value, and results are returned in submission
+// order, which keeps experiment tables byte-identical whatever the
+// parallelism.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"tifs/internal/cpu"
+	"tifs/internal/sim"
+	"tifs/internal/trace"
+	"tifs/internal/workload"
+)
+
+// Job names one simulation: a workload, a scale, and a full simulator
+// configuration.
+type Job struct {
+	Spec   workload.Spec
+	Scale  workload.Scale
+	Config sim.Config
+}
+
+// Key returns the canonical memoization key. Every field of the spec and
+// config is scalar, so the printed form is a complete identity.
+func (j Job) Key() string {
+	return fmt.Sprintf("%+v|%d|%+v", j.Spec, j.Scale, j.Config)
+}
+
+// simEntry is one memoized simulation; done is closed when res is valid.
+type simEntry struct {
+	done chan struct{}
+	res  sim.Result
+}
+
+// traceEntry is one memoized miss-trace extraction.
+type traceEntry struct {
+	done chan struct{}
+	recs [][]trace.MissRecord
+}
+
+// Engine is a concurrency-bounded, memoizing simulation scheduler. The
+// zero value is not usable; construct with New. An Engine is safe for
+// concurrent use.
+type Engine struct {
+	parallelism int
+	sem         chan struct{} // counting semaphore over running work
+
+	mu     sync.Mutex
+	sims   map[string]*simEntry
+	traces map[string]*traceEntry
+
+	runs atomic.Uint64 // simulations actually executed (memo misses)
+}
+
+// New creates an engine running at most parallelism simulations at once;
+// parallelism <= 0 selects GOMAXPROCS.
+func New(parallelism int) *Engine {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		parallelism: parallelism,
+		sem:         make(chan struct{}, parallelism),
+		sims:        map[string]*simEntry{},
+		traces:      map[string]*traceEntry{},
+	}
+}
+
+// Parallelism returns the worker bound.
+func (e *Engine) Parallelism() int { return e.parallelism }
+
+// SimulationsRun returns how many simulations actually executed —
+// submissions minus memoization hits — for dedup telemetry and tests.
+func (e *Engine) SimulationsRun() uint64 { return e.runs.Load() }
+
+var (
+	defaultOnce   sync.Once
+	defaultEngine *Engine
+)
+
+// Default returns the process-wide engine at GOMAXPROCS parallelism.
+// Experiment runners share it unless given an explicit engine, so a full
+// suite run (tifsbench -experiment all, the benchmark suite) simulates
+// each shared configuration exactly once.
+func Default() *Engine {
+	defaultOnce.Do(func() { defaultEngine = New(0) })
+	return defaultEngine
+}
+
+// Run executes one job, deduplicating against identical in-flight or
+// completed runs. The caller blocks until the result is available.
+func (e *Engine) Run(job Job) sim.Result {
+	return e.wait(e.start(job))
+}
+
+// RunAll executes a batch of jobs across the worker pool and returns the
+// results in job order. Duplicate keys within the batch (and against any
+// earlier run) are simulated only once.
+func (e *Engine) RunAll(jobs []Job) []sim.Result {
+	entries := make([]*simEntry, len(jobs))
+	for i, j := range jobs {
+		entries[i] = e.start(j)
+	}
+	out := make([]sim.Result, len(jobs))
+	for i, en := range entries {
+		out[i] = e.wait(en)
+	}
+	return out
+}
+
+// start launches (or joins) the simulation for job and returns its entry.
+func (e *Engine) start(job Job) *simEntry {
+	key := job.Key()
+	e.mu.Lock()
+	if en, ok := e.sims[key]; ok {
+		e.mu.Unlock()
+		return en
+	}
+	en := &simEntry{done: make(chan struct{})}
+	e.sims[key] = en
+	e.mu.Unlock()
+
+	go func() {
+		e.sem <- struct{}{}
+		defer func() { <-e.sem }()
+		e.runs.Add(1)
+		en.res = sim.Run(job.Spec, job.Scale, job.Config)
+		close(en.done)
+	}()
+	return en
+}
+
+// wait blocks for an entry and returns a defensive copy: cached results
+// are shared between callers, so the slices and pointers inside must not
+// alias across them.
+func (e *Engine) wait(en *simEntry) sim.Result {
+	<-en.done
+	return copyResult(en.res)
+}
+
+// copyResult clones the result's reference fields.
+func copyResult(r sim.Result) sim.Result {
+	if r.PerCore != nil {
+		pc := make([]cpu.Stats, len(r.PerCore))
+		copy(pc, r.PerCore)
+		r.PerCore = pc
+	}
+	if r.TIFS != nil {
+		ts := *r.TIFS
+		r.TIFS = &ts
+	}
+	return r
+}
+
+// MissTraces returns the per-core filtered L1-I miss traces for a
+// workload build — the input of every offline analysis experiment —
+// extracting each core's trace concurrently and memoizing the whole set.
+// Callers must treat the returned records as read-only; they are shared.
+func (e *Engine) MissTraces(spec workload.Spec, scale workload.Scale, cores int, events uint64) [][]trace.MissRecord {
+	key := fmt.Sprintf("%+v|%d|%d|%d", spec, scale, cores, events)
+	e.mu.Lock()
+	if en, ok := e.traces[key]; ok {
+		e.mu.Unlock()
+		<-en.done
+		return en.recs
+	}
+	en := &traceEntry{done: make(chan struct{})}
+	e.traces[key] = en
+	e.mu.Unlock()
+
+	gen := workload.Build(spec, scale, cores)
+	sources := gen.Sources()
+	en.recs = make([][]trace.MissRecord, cores)
+	var wg sync.WaitGroup
+	for i := 0; i < cores; i++ {
+		wg.Add(1)
+		go func(i int) {
+			e.sem <- struct{}{}
+			defer func() { <-e.sem; wg.Done() }()
+			en.recs[i] = trace.ExtractMisses(sources[i], events, trace.ExtractorConfig{})
+		}(i)
+	}
+	wg.Wait()
+	close(en.done)
+	return en.recs
+}

@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"tifs/internal/core"
+	"tifs/internal/sim"
+	"tifs/internal/workload"
+)
+
+func spec(t testing.TB, name string) workload.Spec {
+	t.Helper()
+	s, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("workload %q missing", name)
+	}
+	return s
+}
+
+func job(s workload.Spec, m sim.Mechanism) Job {
+	return Job{Spec: s, Scale: workload.ScaleSmall, Config: sim.Config{
+		EventsPerCore: 8_000,
+		Mechanism:     m,
+	}}
+}
+
+func TestRunAllPreservesOrderAndMatchesSerial(t *testing.T) {
+	oltp := spec(t, "OLTP-DB2")
+	web := spec(t, "Web-Zeus")
+	jobs := []Job{
+		job(oltp, sim.Baseline()),
+		job(web, sim.TIFS(core.DedicatedConfig())),
+		job(oltp, sim.FDIP()),
+		job(web, sim.Baseline()),
+	}
+
+	parallel := New(8).RunAll(jobs)
+	serial := New(1).RunAll(jobs)
+	if len(parallel) != len(jobs) {
+		t.Fatalf("got %d results for %d jobs", len(parallel), len(jobs))
+	}
+	for i := range jobs {
+		if !reflect.DeepEqual(parallel[i], serial[i]) {
+			t.Errorf("job %d: parallel and serial results differ:\n%+v\nvs\n%+v",
+				i, parallel[i], serial[i])
+		}
+	}
+	// Sanity: the results really are in submission order.
+	if parallel[0].Workload != "OLTP-DB2" || parallel[0].Mechanism != "next-line" {
+		t.Errorf("result 0 out of order: %s/%s", parallel[0].Workload, parallel[0].Mechanism)
+	}
+	if parallel[1].Workload != "Web-Zeus" || parallel[1].Mechanism != "TIFS-dedicated" {
+		t.Errorf("result 1 out of order: %s/%s", parallel[1].Workload, parallel[1].Mechanism)
+	}
+}
+
+func TestDuplicateJobsSimulateOnce(t *testing.T) {
+	e := New(4)
+	oltp := spec(t, "OLTP-DB2")
+	j := job(oltp, sim.Baseline())
+	res := e.RunAll([]Job{j, j, j, j})
+	if got := e.SimulationsRun(); got != 1 {
+		t.Errorf("4 identical jobs ran %d simulations, want 1", got)
+	}
+	for i := 1; i < len(res); i++ {
+		if !reflect.DeepEqual(res[0], res[i]) {
+			t.Errorf("duplicate job %d returned a different result", i)
+		}
+	}
+	// A later submission of the same job is also a memo hit.
+	e.Run(j)
+	if got := e.SimulationsRun(); got != 1 {
+		t.Errorf("re-run after completion ran %d simulations, want 1", got)
+	}
+}
+
+func TestCachedResultsDoNotAlias(t *testing.T) {
+	e := New(2)
+	j := job(spec(t, "DSS-Qry2"), sim.TIFS(core.VirtualizedConfig()))
+	a := e.Run(j)
+	b := e.Run(j)
+	if a.TIFS == nil || b.TIFS == nil {
+		t.Fatal("TIFS stats missing")
+	}
+	if &a.PerCore[0] == &b.PerCore[0] || a.TIFS == b.TIFS {
+		t.Error("cached result shares mutable storage between callers")
+	}
+	a.PerCore[0].Cycles = 0
+	a.TIFS.IndexLookups = 0
+	c := e.Run(j)
+	if c.PerCore[0].Cycles == 0 || c.TIFS.IndexLookups == 0 {
+		t.Error("mutating a returned result corrupted the cache")
+	}
+}
+
+// TestConcurrentTIFSRuns drives many simultaneous TIFS simulations —
+// each sharing one TIFS index table across its cores, and all sharing
+// the memoized workload program image — to let the race detector check
+// the concurrent-read safety the engine relies on.
+func TestConcurrentTIFSRuns(t *testing.T) {
+	e := New(8)
+	oltp := spec(t, "OLTP-DB2")
+	web := spec(t, "Web-Apache")
+	var jobs []Job
+	for i := 0; i < 3; i++ { // duplicates join in-flight runs
+		jobs = append(jobs,
+			job(oltp, sim.TIFS(core.DedicatedConfig())),
+			job(oltp, sim.TIFS(core.VirtualizedConfig())),
+			job(web, sim.TIFS(core.DedicatedConfig())),
+			job(web, sim.Baseline()),
+		)
+	}
+	res := e.RunAll(jobs)
+	for i, r := range res {
+		if r.Cycles == 0 {
+			t.Errorf("job %d produced an empty result", i)
+		}
+	}
+	if got := e.SimulationsRun(); got != 4 {
+		t.Errorf("ran %d distinct simulations, want 4", got)
+	}
+}
+
+func TestMissTracesMemoized(t *testing.T) {
+	e := New(4)
+	oltp := spec(t, "OLTP-DB2")
+	a := e.MissTraces(oltp, workload.ScaleSmall, 4, 10_000)
+	b := e.MissTraces(oltp, workload.ScaleSmall, 4, 10_000)
+	if len(a) != 4 {
+		t.Fatalf("got %d cores", len(a))
+	}
+	if &a[0] != &b[0] {
+		t.Error("memoized traces were re-extracted")
+	}
+	for i, recs := range a {
+		if len(recs) == 0 {
+			t.Errorf("core %d extracted no misses", i)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"tifs/internal/analysis"
+	"tifs/internal/engine"
 	"tifs/internal/isa"
 	"tifs/internal/sim"
 	"tifs/internal/stats"
@@ -31,6 +32,16 @@ type Options struct {
 	Cores int
 	// Workloads restricts the suite (empty = all six).
 	Workloads []string
+	// Parallelism bounds how many simulations run concurrently (0 =
+	// GOMAXPROCS, 1 = serial). Output is byte-identical at every setting:
+	// results are assembled in submission order and every simulation is
+	// deterministic in its configuration.
+	Parallelism int
+	// Engine overrides the simulation scheduler (nil selects the
+	// process-wide engine when Parallelism is 0, or a fresh engine at the
+	// requested parallelism). Supplying one engine across several
+	// experiment runs shares its memoized results between them.
+	Engine *engine.Engine
 }
 
 func (o Options) withDefaults() Options {
@@ -38,6 +49,30 @@ func (o Options) withDefaults() Options {
 		o.Cores = 4
 	}
 	return o
+}
+
+// engine returns the scheduler for this run.
+func (o Options) engine() *engine.Engine {
+	if o.Engine != nil {
+		return o.Engine
+	}
+	if o.Parallelism != 0 {
+		return engine.New(o.Parallelism)
+	}
+	return engine.Default()
+}
+
+// job names one simulation of this experiment's grid.
+func (o Options) job(spec workload.Spec, m sim.Mechanism) engine.Job {
+	return engine.Job{
+		Spec:  spec,
+		Scale: o.Scale,
+		Config: sim.Config{
+			Cores:         o.Cores,
+			EventsPerCore: o.Events,
+			Mechanism:     m,
+		},
+	}
 }
 
 func (o Options) suite() []workload.Spec {
@@ -62,19 +97,14 @@ func (o Options) analysisEvents() uint64 {
 	return o.Scale.AnalysisEvents()
 }
 
-// missTraces extracts per-core filtered miss traces for a workload.
+// missTraces returns the per-core filtered miss traces for a workload;
+// the records are read-only. Within one engine, extraction runs once per
+// (workload, scale, cores, events) and is shared by every analysis
+// experiment — runners sharing an engine (the default, or an explicit
+// o.Engine) never re-extract. A nonzero Parallelism with a nil Engine
+// creates a fresh engine per call and forgoes that cross-call sharing.
 func missTraces(spec workload.Spec, o Options) [][]trace.MissRecord {
-	gen := workload.Build(spec, o.Scale, o.Cores)
-	out := make([][]trace.MissRecord, o.Cores)
-	for i, src := range gen.Sources() {
-		var recs []trace.MissRecord
-		e := trace.NewExtractor(trace.ExtractorConfig{}, func(m trace.MissRecord) {
-			recs = append(recs, m)
-		})
-		e.Run(src, o.analysisEvents())
-		out[i] = recs
-	}
-	return out
+	return o.engine().MissTraces(spec, o.Scale, o.Cores, o.analysisEvents())
 }
 
 // Table1 prints the workload suite parameters (the paper's Table I).
@@ -120,11 +150,26 @@ type Fig1Result struct {
 	Fits   map[string]stats.LinearFit
 }
 
-// Fig1 runs the probabilistic-prefetcher coverage sweep (Section 2).
+// Fig1 runs the probabilistic-prefetcher coverage sweep (Section 2). The
+// whole (workload x coverage) grid fans out through the engine at once;
+// the zero-coverage point reuses the memoized next-line baseline.
 func Fig1(o Options) (Fig1Result, string) {
 	o = o.withDefaults()
 	res := Fig1Result{Fits: map[string]stats.LinearFit{}}
 	coverages := []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+
+	suite := o.suite()
+	var jobs []engine.Job
+	for _, spec := range suite {
+		for _, cov := range coverages {
+			m := sim.Baseline()
+			if cov > 0 {
+				m = sim.Probabilistic(cov)
+			}
+			jobs = append(jobs, o.job(spec, m))
+		}
+	}
+	results := o.engine().RunAll(jobs)
 
 	headers := []string{"Workload"}
 	for _, c := range coverages {
@@ -132,22 +177,12 @@ func Fig1(o Options) (Fig1Result, string) {
 	}
 	headers = append(headers, "slope/100%")
 	t := stats.NewTable("Fig. 1. Speedup over next-line prefetching vs. prefetch coverage", headers...)
-	for _, spec := range o.suite() {
-		base := sim.Run(spec, o.Scale, sim.Config{
-			Cores: o.Cores, EventsPerCore: o.Events, Mechanism: sim.Baseline(),
-		})
+	for wi, spec := range suite {
+		base := results[wi*len(coverages)]
 		var xs, ys []float64
 		row := []string{spec.Name}
-		for _, cov := range coverages {
-			var r sim.Result
-			if cov == 0 {
-				r = base
-			} else {
-				r = sim.Run(spec, o.Scale, sim.Config{
-					Cores: o.Cores, EventsPerCore: o.Events,
-					Mechanism: sim.Probabilistic(cov),
-				})
-			}
+		for ci, cov := range coverages {
+			r := results[wi*len(coverages)+ci]
 			sp := r.SpeedupOver(base)
 			res.Points = append(res.Points, Fig1Point{Workload: spec.Name, Coverage: cov, Speedup: sp})
 			xs = append(xs, cov)

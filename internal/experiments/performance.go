@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tifs/internal/core"
+	"tifs/internal/engine"
 	"tifs/internal/sim"
 	"tifs/internal/stats"
 	"tifs/internal/uncore"
@@ -25,11 +26,14 @@ func Fig12(o Options) ([]Fig12Row, string) {
 	var rows []Fig12Row
 	t := stats.NewTable("Fig. 12. TIFS coverage, discards, and L2 traffic overhead (virtualized IML)",
 		"Workload", "Coverage", "Discards", "IML traffic", "Total overhead")
-	for _, spec := range o.suite() {
-		r := sim.Run(spec, o.Scale, sim.Config{
-			Cores: o.Cores, EventsPerCore: o.Events,
-			Mechanism: sim.TIFS(core.VirtualizedConfig()),
-		})
+	suite := o.suite()
+	jobs := make([]engine.Job, len(suite))
+	for i, spec := range suite {
+		jobs[i] = o.job(spec, sim.TIFS(core.VirtualizedConfig()))
+	}
+	results := o.engine().RunAll(jobs)
+	for i, spec := range suite {
+		r := results[i]
 		var useful uint64
 		for _, s := range r.PerCore {
 			useful += s.PrefetchHits
@@ -93,20 +97,31 @@ func comparison(o Options, mechs []sim.Mechanism, title string) ([]Fig13Row, str
 	t := stats.NewTable(title, headers...)
 	var rows []Fig13Row
 	perMechanism := make(map[string][]float64)
-	for _, spec := range o.suite() {
-		base := sim.Run(spec, o.Scale, sim.Config{
-			Cores: o.Cores, EventsPerCore: o.Events, Mechanism: sim.Baseline(),
-		})
+
+	// Fan the full (workload x mechanism) grid, baseline included, out
+	// through the engine; the baseline is shared with any other experiment
+	// that needs it.
+	suite := o.suite()
+	stride := 1 + len(mechs)
+	jobs := make([]engine.Job, 0, len(suite)*stride)
+	for _, spec := range suite {
+		jobs = append(jobs, o.job(spec, sim.Baseline()))
+		for _, m := range mechs {
+			jobs = append(jobs, o.job(spec, m))
+		}
+	}
+	results := o.engine().RunAll(jobs)
+
+	for wi, spec := range suite {
+		base := results[wi*stride]
 		row := Fig13Row{
 			Workload: spec.Name,
 			Speedups: map[string]float64{},
 			Results:  map[string]sim.Result{"next-line": base},
 		}
 		cells := []string{spec.Name}
-		for _, m := range mechs {
-			r := sim.Run(spec, o.Scale, sim.Config{
-				Cores: o.Cores, EventsPerCore: o.Events, Mechanism: m,
-			})
+		for mi, m := range mechs {
+			r := results[wi*stride+1+mi]
 			sp := r.SpeedupOver(base)
 			row.Speedups[m.Name()] = sp
 			row.Results[m.Name()] = r
@@ -143,16 +158,21 @@ func AblationSVB(o Options) string {
 		headers = append(headers, fmt.Sprintf("lookahead=%d", la))
 	}
 	t := stats.NewTable("Ablation: SVB rate-matching lookahead (speedup over next-line)", headers...)
-	for _, spec := range o.suite() {
-		base := sim.Run(spec, o.Scale, sim.Config{
-			Cores: o.Cores, EventsPerCore: o.Events, Mechanism: sim.Baseline(),
-		})
-		cells := []string{spec.Name}
+	suite := o.suite()
+	stride := 1 + len(mechs)
+	jobs := make([]engine.Job, 0, len(suite)*stride)
+	for _, spec := range suite {
+		jobs = append(jobs, o.job(spec, sim.Baseline()))
 		for _, m := range mechs {
-			r := sim.Run(spec, o.Scale, sim.Config{
-				Cores: o.Cores, EventsPerCore: o.Events, Mechanism: m,
-			})
-			cells = append(cells, fmt.Sprintf("%.3f", r.SpeedupOver(base)))
+			jobs = append(jobs, o.job(spec, m))
+		}
+	}
+	results := o.engine().RunAll(jobs)
+	for wi, spec := range suite {
+		base := results[wi*stride]
+		cells := []string{spec.Name}
+		for mi := range mechs {
+			cells = append(cells, fmt.Sprintf("%.3f", results[wi*stride+1+mi].SpeedupOver(base)))
 		}
 		t.AddRow(cells...)
 	}
@@ -168,16 +188,17 @@ func AblationEndOfStream(o Options) string {
 	off.DisableEndOfStream = true
 	t := stats.NewTable("Ablation: end-of-stream detection (speedup | discards)",
 		"Workload", "eos-on", "eos-off", "discards-on", "discards-off")
-	for _, spec := range o.suite() {
-		base := sim.Run(spec, o.Scale, sim.Config{
-			Cores: o.Cores, EventsPerCore: o.Events, Mechanism: sim.Baseline(),
-		})
-		rOn := sim.Run(spec, o.Scale, sim.Config{
-			Cores: o.Cores, EventsPerCore: o.Events, Mechanism: sim.TIFS(on),
-		})
-		rOff := sim.Run(spec, o.Scale, sim.Config{
-			Cores: o.Cores, EventsPerCore: o.Events, Mechanism: sim.TIFS(off),
-		})
+	suite := o.suite()
+	jobs := make([]engine.Job, 0, 3*len(suite))
+	for _, spec := range suite {
+		jobs = append(jobs,
+			o.job(spec, sim.Baseline()),
+			o.job(spec, sim.TIFS(on)),
+			o.job(spec, sim.TIFS(off)))
+	}
+	results := o.engine().RunAll(jobs)
+	for wi, spec := range suite {
+		base, rOn, rOff := results[3*wi], results[3*wi+1], results[3*wi+2]
 		t.AddRow(spec.Name,
 			fmt.Sprintf("%.3f", rOn.SpeedupOver(base)),
 			fmt.Sprintf("%.3f", rOff.SpeedupOver(base)),
@@ -196,15 +217,20 @@ func AblationIndexDrops(o Options) string {
 		headers = append(headers, fmt.Sprintf("drop=%.0f%%", 100*p))
 	}
 	t := stats.NewTable("Ablation: dropped index updates (TIFS coverage)", headers...)
-	for _, spec := range o.suite() {
-		cells := []string{spec.Name}
+	suite := o.suite()
+	jobs := make([]engine.Job, 0, len(suite)*len(probs))
+	for _, spec := range suite {
 		for _, p := range probs {
 			cfg := core.VirtualizedConfig()
 			cfg.IndexDropProb = p
-			r := sim.Run(spec, o.Scale, sim.Config{
-				Cores: o.Cores, EventsPerCore: o.Events, Mechanism: sim.TIFS(cfg),
-			})
-			cells = append(cells, stats.Pct(r.Coverage()))
+			jobs = append(jobs, o.job(spec, sim.TIFS(cfg)))
+		}
+	}
+	results := o.engine().RunAll(jobs)
+	for wi, spec := range suite {
+		cells := []string{spec.Name}
+		for pi := range probs {
+			cells = append(cells, stats.Pct(results[wi*len(probs)+pi].Coverage()))
 		}
 		t.AddRow(cells...)
 	}

@@ -55,8 +55,13 @@ func ByID(id string) (Runner, bool) {
 }
 
 // RunAll executes every registered experiment and concatenates the
-// rendered outputs in order.
+// rendered outputs in order. All runners share one engine, so the
+// simulations common to several figures (the next-line baselines, the
+// repeated TIFS configurations, the per-workload miss traces) run once.
 func RunAll(o Options) string {
+	if o.Engine == nil {
+		o.Engine = o.engine()
+	}
 	var b strings.Builder
 	for _, r := range Registry() {
 		fmt.Fprintf(&b, "== %s: %s\n\n", r.ID, r.Description)

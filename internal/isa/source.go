@@ -10,6 +10,16 @@ type EventSource interface {
 	Next() (ev BlockEvent, ok bool)
 }
 
+// BatchSource is an optional EventSource extension: NextBatch fills dst
+// with up to len(dst) events and returns how many were written (short
+// only when the source is exhausted). Consumers that do not need
+// per-event pacing (the next-line-only fetch path, trace extraction)
+// use it to amortize interface dispatch and event copies across a whole
+// buffer refill.
+type BatchSource interface {
+	NextBatch(dst []BlockEvent) int
+}
+
 // SliceSource adapts an in-memory event slice to an EventSource.
 type SliceSource struct {
 	events []BlockEvent
@@ -30,6 +40,14 @@ func (s *SliceSource) Next() (BlockEvent, bool) {
 	ev := s.events[s.pos]
 	s.pos++
 	return ev, true
+}
+
+// NextBatch implements BatchSource without per-event copies through the
+// EventSource return path.
+func (s *SliceSource) NextBatch(dst []BlockEvent) int {
+	n := copy(dst, s.events[s.pos:])
+	s.pos += n
+	return n
 }
 
 // Reset rewinds the source to the beginning.

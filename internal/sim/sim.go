@@ -14,7 +14,6 @@ import (
 
 	"tifs/internal/core"
 	"tifs/internal/cpu"
-	"tifs/internal/isa"
 	"tifs/internal/prefetch"
 	"tifs/internal/uncore"
 	"tifs/internal/workload"
@@ -100,7 +99,7 @@ type Config struct {
 	EventsPerCore uint64
 	// WarmupEvents are executed before measurement begins, warming the
 	// caches, predictors, and memory queues as the paper's checkpointed
-	// sampling does (Section 6.1). 0 selects 25%% of EventsPerCore.
+	// sampling does (Section 6.1). 0 selects 25% of EventsPerCore.
 	WarmupEvents uint64
 	// CPU carries the core parameters; BackendCPI and data traffic are
 	// filled from the workload spec if zero.
@@ -220,8 +219,9 @@ func Run(spec workload.Spec, scale workload.Scale, cfg Config) Result {
 	cores := make([]*cpu.Core, cfg.Cores)
 	sources := gen.Sources()
 	for i := range cores {
-		src := isa.NewLimit(sources[i], cfg.WarmupEvents+cfg.EventsPerCore)
-		c := cpu.New(i, cfg.CPU, src, nil, un)
+		ccfg := cfg.CPU
+		ccfg.EventBudget = cfg.WarmupEvents + cfg.EventsPerCore
+		c := cpu.New(i, ccfg, sources[i], nil, un)
 		var pf prefetch.Prefetcher
 		switch cfg.Mechanism.Kind {
 		case "", KindNone:
@@ -250,26 +250,23 @@ func Run(spec workload.Spec, scale workload.Scale, cfg Config) Result {
 
 	// Interleave cores in core-local time order, snapshotting each core's
 	// counters when it crosses its warmup boundary so only steady-state
-	// behaviour is measured.
+	// behaviour is measured. Core selection uses an indexed min-heap keyed
+	// on (cycle, core index) — the same order the previous linear scan
+	// produced (lowest cycle, ties to the lowest index) at O(log cores)
+	// per step instead of O(cores).
 	warmStats := make([]cpu.Stats, cfg.Cores)
 	warmPf := make([]prefetch.Stats, cfg.Cores)
 	warmed := make([]bool, cfg.Cores)
 	var warmTraffic uncore.Traffic
 	warmedCount := 0
-	for {
-		next := -1
-		for i, c := range cores {
-			if c.Done() {
-				continue
-			}
-			if next == -1 || c.Cycle() < cores[next].Cycle() {
-				next = i
-			}
+	h := newCoreHeap(cores)
+	for h.len() > 0 {
+		next := h.min()
+		if !cores[next].Step() {
+			h.pop()
+			continue
 		}
-		if next == -1 {
-			break
-		}
-		cores[next].Step()
+		h.fix() // the stepped core's clock only moved forward
 		if !warmed[next] && cores[next].Stats().Events >= cfg.WarmupEvents {
 			warmed[next] = true
 			warmStats[next] = cores[next].Stats()
@@ -339,4 +336,82 @@ func subPf(a, warm prefetch.Stats) prefetch.Stats {
 // subTraffic subtracts the warmup-era ledger.
 func subTraffic(a, warm uncore.Traffic) uncore.Traffic {
 	return a.Sub(warm)
+}
+
+// coreHeap is an indexed min-heap of runnable cores keyed on
+// (core-local cycle, core index). The index tie-break reproduces the
+// selection order of a linear scan with a strict < comparison, keeping
+// simulation results byte-identical to the serial scheduler it replaced.
+type coreHeap struct {
+	cores []*cpu.Core
+	idx   []int
+	key   []uint64 // cached core clocks, parallel to idx
+}
+
+func newCoreHeap(cores []*cpu.Core) *coreHeap {
+	h := &coreHeap{
+		cores: cores,
+		idx:   make([]int, len(cores)),
+		key:   make([]uint64, len(cores)),
+	}
+	for i := range h.idx {
+		h.idx[i] = i
+		h.key[i] = cores[i].Cycle()
+	}
+	for i := len(h.idx)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+	return h
+}
+
+func (h *coreHeap) len() int { return len(h.idx) }
+
+// min returns the index of the core with the lowest clock.
+func (h *coreHeap) min() int { return h.idx[0] }
+
+// less orders heap slots a and b by (cached clock, core index).
+func (h *coreHeap) less(a, b int) bool {
+	if h.key[a] != h.key[b] {
+		return h.key[a] < h.key[b]
+	}
+	return h.idx[a] < h.idx[b]
+}
+
+// fix restores heap order after the root's key grew (a core's clock only
+// moves forward).
+func (h *coreHeap) fix() {
+	h.key[0] = h.cores[h.idx[0]].Cycle()
+	h.down(0)
+}
+
+// pop removes the root (an exhausted core).
+func (h *coreHeap) pop() {
+	last := len(h.idx) - 1
+	h.idx[0] = h.idx[last]
+	h.key[0] = h.key[last]
+	h.idx = h.idx[:last]
+	h.key = h.key[:last]
+	if len(h.idx) > 0 {
+		h.down(0)
+	}
+}
+
+func (h *coreHeap) down(i int) {
+	n := len(h.idx)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			return
+		}
+		h.idx[i], h.idx[m] = h.idx[m], h.idx[i]
+		h.key[i], h.key[m] = h.key[m], h.key[i]
+		i = m
+	}
 }

@@ -116,8 +116,13 @@ func (e *Extractor) Feed(ev isa.BlockEvent) {
 
 // Run pulls up to maxEvents events from src through the extractor and
 // returns the number of events consumed (less than maxEvents only if the
-// source ends).
+// source ends). Batch-capable sources are drained through one reused
+// event buffer — one dynamic dispatch per buffer instead of per event,
+// and no per-event copies through the Next return path.
 func (e *Extractor) Run(src isa.EventSource, maxEvents uint64) uint64 {
+	if bs, ok := src.(isa.BatchSource); ok {
+		return e.runBatched(bs, maxEvents)
+	}
 	var n uint64
 	for n < maxEvents {
 		ev, ok := src.Next()
@@ -126,6 +131,27 @@ func (e *Extractor) Run(src isa.EventSource, maxEvents uint64) uint64 {
 		}
 		e.Feed(ev)
 		n++
+	}
+	return n
+}
+
+// runBatched is Run over an isa.BatchSource.
+func (e *Extractor) runBatched(bs isa.BatchSource, maxEvents uint64) uint64 {
+	var buf [256]isa.BlockEvent
+	var n uint64
+	for n < maxEvents {
+		want := uint64(len(buf))
+		if left := maxEvents - n; left < want {
+			want = left
+		}
+		got := bs.NextBatch(buf[:want])
+		for i := 0; i < got; i++ {
+			e.Feed(buf[i])
+		}
+		n += uint64(got)
+		if uint64(got) < want {
+			break
+		}
 	}
 	return n
 }
@@ -145,12 +171,26 @@ func (e *Extractor) MPKE() float64 {
 }
 
 // ExtractMisses is a convenience that drains up to maxEvents events from
-// src and returns the collected miss records.
+// src and returns the collected miss records. The result slice is
+// preallocated from the event budget at a typical post-filter miss
+// density, so collection does not reallocate as the trace grows.
 func ExtractMisses(src isa.EventSource, maxEvents uint64, cfg ExtractorConfig) []MissRecord {
-	var out []MissRecord
+	out := make([]MissRecord, 0, missCapacity(maxEvents))
 	e := NewExtractor(cfg, func(m MissRecord) { out = append(out, m) })
 	e.Run(src, maxEvents)
 	return out
+}
+
+// missCapacity sizes a record buffer for an event budget. Filtered miss
+// density on the Table I workloads runs a few percent of events; 1/16
+// overshoots slightly, trading a little memory for zero regrowth.
+func missCapacity(maxEvents uint64) uint64 {
+	const maxPrealloc = 1 << 22
+	c := maxEvents/16 + 16
+	if c > maxPrealloc {
+		c = maxPrealloc
+	}
+	return c
 }
 
 // Blocks projects miss records to their block addresses.

@@ -20,6 +20,7 @@ package workload
 
 import (
 	"fmt"
+	"sync"
 
 	"tifs/internal/cfg"
 	"tifs/internal/isa"
@@ -269,14 +270,47 @@ func (g *Generated) Sources() []isa.EventSource {
 // Cores returns the number of cores the instance was built for.
 func (g *Generated) Cores() int { return len(g.Execs) }
 
+// builtProgram is one cached program image. Programs are immutable after
+// construction (executors only read them), so one image is shared by
+// every simulation of the same (spec, scale) — including simulations
+// running concurrently on different goroutines.
+type builtProgram struct {
+	prog     *cfg.Program
+	roots    []cfg.FuncID
+	handlers []cfg.FuncID
+}
+
+var (
+	progMu    sync.Mutex
+	progCache = map[string]*builtProgram{}
+)
+
+// program returns the cached code image for (spec, scale), building it on
+// first use. Program construction is deterministic, so caching cannot
+// change any result; it only removes the dominant allocation cost of
+// repeated Build calls across an experiment sweep.
+func program(spec Spec, scale Scale) *builtProgram {
+	key := fmt.Sprintf("%+v/%d", spec, scale)
+	progMu.Lock()
+	defer progMu.Unlock()
+	if p, ok := progCache[key]; ok {
+		return p
+	}
+	rng := xrand.NewFromString("workload/" + spec.Name + "/" + scale.String())
+	prog, roots, handlers := buildProgram(spec, scale, rng)
+	p := &builtProgram{prog: prog, roots: roots, handlers: handlers}
+	progCache[key] = p
+	return p
+}
+
 // Build instantiates the workload at the given scale for the given number
 // of cores. Construction is deterministic for (spec.Name, scale, cores).
 func Build(spec Spec, scale Scale, cores int) *Generated {
 	if cores < 1 {
 		panic("workload: need at least one core")
 	}
-	rng := xrand.NewFromString("workload/" + spec.Name + "/" + scale.String())
-	prog, roots, handlers := buildProgram(spec, scale, rng)
+	p := program(spec, scale)
+	prog, roots, handlers := p.prog, p.roots, p.handlers
 
 	g := &Generated{Spec: spec, Scale: scale, Program: prog, Roots: roots, Handlers: handlers}
 	threads := spec.ThreadsPerCore

@@ -25,6 +25,7 @@ import (
 
 	"tifs/internal/analysis"
 	"tifs/internal/core"
+	"tifs/internal/engine"
 	"tifs/internal/experiments"
 	"tifs/internal/isa"
 	"tifs/internal/sim"
@@ -148,7 +149,21 @@ func Simulate(spec WorkloadSpec, scale Scale, cfg SimConfig) SimResult {
 	return sim.Run(spec, scale, cfg)
 }
 
-// ExperimentOptions scope an experiment run.
+// SimJob pairs a workload and scale with a simulation configuration for
+// batched execution.
+type SimJob = engine.Job
+
+// SimulateAll runs a batch of simulations concurrently across at most
+// parallelism goroutines (0 = GOMAXPROCS) and returns the results in job
+// order. Duplicate jobs are simulated once and share their result;
+// output is identical to running each job serially.
+func SimulateAll(jobs []SimJob, parallelism int) []SimResult {
+	return engine.New(parallelism).RunAll(jobs)
+}
+
+// ExperimentOptions scope an experiment run. Parallelism bounds how many
+// simulations run concurrently (0 = GOMAXPROCS, 1 = serial); rendered
+// tables are byte-identical at every setting.
 type ExperimentOptions = experiments.Options
 
 // Experiment is a named, runnable reproduction of one paper table or
