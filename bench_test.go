@@ -91,6 +91,30 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 }
 
+// BenchmarkSimulatorThroughputPooled is BenchmarkSimulatorThroughput
+// through a reused SimRunner — the configuration the experiment engine
+// actually runs. Steady-state iterations perform zero heap allocations
+// (the -benchmem columns are the regression signal for that).
+func BenchmarkSimulatorThroughputPooled(b *testing.B) {
+	spec, err := tifs.WorkloadByName("OLTP-DB2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := tifs.NewSimRunner()
+	cfg := tifs.SimConfig{
+		EventsPerCore: 50_000,
+		Mechanism:     tifs.NextLineOnly(),
+	}
+	r.Run(spec, tifs.ScaleSmall, cfg) // warm the pools
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		events += r.Run(spec, tifs.ScaleSmall, cfg).TotalEvents
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
 // BenchmarkMissExtraction measures the trace hot path: filtering a raw
 // fetch-event stream through the L1/next-line miss definition. The
 // executor is infinite, so each iteration filters a fresh 50k-event

@@ -4,19 +4,31 @@
 //
 //	tifsbench -experiment fig13 -scale medium
 //	tifsbench -experiment all -scale small -workloads OLTP-DB2,Web-Apache
+//	tifsbench -experiment all -scale small -cache-dir ~/.cache/tifs
 //	tifsbench -list
+//
+// With -cache-dir, simulation results and miss traces persist in a
+// content-addressed store; re-running the same experiments loads them
+// instead of re-simulating, printing byte-identical tables in a fraction
+// of the time. A store summary goes to stderr so stdout stays clean.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"tifs"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		experiment = flag.String("experiment", "all", "experiment id (see -list) or 'all'")
 		scaleName  = flag.String("scale", "small", "workload scale: small|medium|full")
@@ -24,6 +36,9 @@ func main() {
 		events     = flag.Uint64("events", 0, "override per-core event budget (0 = scale default)")
 		cores      = flag.Int("cores", 4, "number of cores")
 		parallel   = flag.Int("parallelism", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		cacheDir   = flag.String("cache-dir", "", "persistent result store directory (empty = disabled)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		list       = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -32,21 +47,61 @@ func main() {
 		for _, e := range tifs.Experiments() {
 			fmt.Printf("%-16s %s\n", e.ID, e.Description)
 		}
-		return
+		return 0
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the retained heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
 	}
 
 	scale, err := tifs.ParseScale(*scaleName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	o := tifs.ExperimentOptions{Scale: scale, Events: *events, Cores: *cores, Parallelism: *parallel}
+	if *cacheDir != "" {
+		st, err := tifs.OpenResultStore(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer func() {
+			fmt.Fprintln(os.Stderr, st.Stats())
+			st.Close()
+		}()
+		o.Store = st
+	}
 	if *workloads != "" {
 		for _, w := range strings.Split(*workloads, ",") {
 			name := strings.TrimSpace(w)
 			if _, err := tifs.WorkloadByName(name); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				return 2
 			}
 			o.Workloads = append(o.Workloads, name)
 		}
@@ -54,12 +109,13 @@ func main() {
 
 	if *experiment == "all" {
 		fmt.Print(tifs.RunAllExperiments(o))
-		return
+		return 0
 	}
 	out, err := tifs.RunExperiment(*experiment, o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	fmt.Print(out)
+	return 0
 }

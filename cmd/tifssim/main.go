@@ -44,6 +44,7 @@ func main() {
 		events    = flag.Uint64("events", 0, "per-core events (0 = scale default)")
 		cores     = flag.Int("cores", 4, "number of cores")
 		baseline  = flag.Bool("baseline", true, "also run the next-line baseline and report speedup")
+		cacheDir  = flag.String("cache-dir", "", "persistent result store directory (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -64,7 +65,21 @@ func main() {
 	}
 
 	// Run the mechanism and (when requested) its next-line baseline as one
-	// batch so they execute concurrently on multi-core hosts.
+	// batch so they execute concurrently on multi-core hosts. With
+	// -cache-dir, previously simulated configurations load from the
+	// persistent store instead of re-running.
+	var st *tifs.ResultStore
+	if *cacheDir != "" {
+		st, err = tifs.OpenResultStore(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer func() {
+			fmt.Fprintln(os.Stderr, st.Stats())
+			st.Close()
+		}()
+	}
 	jobs := []tifs.SimJob{{Spec: spec, Scale: scale, Config: tifs.SimConfig{
 		Cores: *cores, EventsPerCore: *events, Mechanism: mech,
 	}}}
@@ -74,7 +89,7 @@ func main() {
 			Cores: *cores, EventsPerCore: *events, Mechanism: tifs.NextLineOnly(),
 		}})
 	}
-	results := tifs.SimulateAll(jobs, 0)
+	results := tifs.SimulateAllStored(jobs, 0, st)
 	r := results[0]
 
 	fmt.Printf("workload:   %s (%s scale, %d cores)\n", r.Workload, scale, *cores)

@@ -48,6 +48,13 @@ func NewBimodal(entries int) *Bimodal {
 	return &Bimodal{table: t, mask: uint64(entries - 1)}
 }
 
+// Reset restores every counter to the weakly-taken initial state.
+func (b *Bimodal) Reset() {
+	for i := range b.table {
+		b.table[i] = 2
+	}
+}
+
 func (b *Bimodal) index(pc isa.Addr) uint64 {
 	return (uint64(pc) >> 2) & b.mask
 }
@@ -91,6 +98,14 @@ func NewGShare(entries int) *GShare {
 		bits++
 	}
 	return &GShare{table: t, mask: uint64(entries - 1), bits: bits}
+}
+
+// Reset restores the counters to weakly taken and clears the history.
+func (g *GShare) Reset() {
+	for i := range g.table {
+		g.table[i] = 2
+	}
+	g.history = 0
 }
 
 func (g *GShare) index(pc isa.Addr) uint64 {
@@ -145,6 +160,20 @@ func NewHybrid(entries int) *Hybrid {
 // NewDefaultHybrid returns the paper's configuration: 16K gShare and 16K
 // bimodal entries.
 func NewDefaultHybrid() *Hybrid { return NewHybrid(16 * 1024) }
+
+// Entries returns the per-component table size the predictor was built
+// with (pooled cores reuse a predictor only when the size matches).
+func (h *Hybrid) Entries() int { return len(h.chooser) }
+
+// Reset restores the initial prediction state of both components and the
+// chooser, as if freshly constructed.
+func (h *Hybrid) Reset() {
+	h.gshare.Reset()
+	h.bimodal.Reset()
+	for i := range h.chooser {
+		h.chooser[i] = 2
+	}
+}
 
 func (h *Hybrid) chooserIndex(pc isa.Addr) uint64 {
 	return (uint64(pc) >> 2) & h.mask

@@ -102,6 +102,15 @@ func New(cfg Config) *Cache {
 // Config returns the cache geometry.
 func (c *Cache) Config() Config { return c.cfg }
 
+// Reset empties the cache and zeroes its counters, restoring the state a
+// freshly constructed cache of the same geometry would have. Pooled
+// simulation runs reuse the ways array instead of reallocating it.
+func (c *Cache) Reset() {
+	clear(c.ways)
+	c.clock = 0
+	c.stats = Stats{}
+}
+
 // NumSets returns the number of sets.
 func (c *Cache) NumSets() int { return len(c.ways) / c.assoc }
 

@@ -27,7 +27,7 @@ func TestConfigValidate(t *testing.T) {
 	bad := []Config{
 		{SizeBytes: 0, Assoc: 2},
 		{SizeBytes: 64 * 1024, Assoc: 0},
-		{SizeBytes: 100, Assoc: 1},              // not block multiple
+		{SizeBytes: 100, Assoc: 1},                // not block multiple
 		{SizeBytes: 3 * isa.BlockBytes, Assoc: 2}, // blocks not divisible
 		{SizeBytes: 6 * isa.BlockBytes, Assoc: 2}, // 3 sets, not power of 2
 	}

@@ -115,6 +115,25 @@ func NewExecutor(prog *Program, cfg ExecConfig) *Executor {
 // Stats returns a copy of the execution counters.
 func (x *Executor) Stats() ExecStats { return x.stats }
 
+// Reset rewinds the executor to its freshly constructed state: the same
+// seed, thread states, and trap countdown NewExecutor(prog, cfg) would
+// produce, so the event stream replays identically. Call stacks keep
+// their capacity, making repeated simulation runs allocation-free once
+// the deepest call chain has been seen.
+func (x *Executor) Reset() {
+	x.rng.SeedFromString("exec/" + x.cfg.Seed)
+	for _, t := range x.threads {
+		t.stack = t.stack[:0]
+		t.cur = blockRef{}
+	}
+	x.active = 0
+	x.inTrap = false
+	x.trapThread.stack = x.trapThread.stack[:0]
+	x.trapThread.cur = blockRef{}
+	x.stats = ExecStats{}
+	x.resetTrapCountdown()
+}
+
 func (x *Executor) resetTrapCountdown() {
 	if x.cfg.TrapMeanInstrs <= 0 {
 		x.trapCountdown = math.MaxInt64
@@ -185,7 +204,8 @@ func (x *Executor) stepThread() isa.BlockEvent {
 		ev.Target = hfn.Entry
 		t.cur = next
 		x.inTrap = true
-		x.trapThread = threadState{cur: blockRef{fn: hfn, idx: 0}}
+		x.trapThread.stack = x.trapThread.stack[:0] // keep capacity across traps
+		x.trapThread.cur = blockRef{fn: hfn, idx: 0}
 		x.stats.Traps++
 		x.resetTrapCountdown()
 		return ev

@@ -95,7 +95,8 @@ func (e *Engine) OnFetchBlock(b isa.Block, outcome prefetch.FetchOutcome, now ui
 		return
 	}
 	e.tstats.IndexLookups++
-	pos, ok := e.t.index[b]
+	packed, ok := e.t.index.Get(uint64(b))
+	pos := unpackPos(packed)
 	if ok && e.t.cores[pos.core].log.alive(pos.idx) {
 		id := e.allocStream(now)
 		s := &e.strs[id]
@@ -253,7 +254,7 @@ func (e *Engine) logAppend(b isa.Block, svbHit bool, now uint64) {
 		e.tstats.IndexDrops++
 		return
 	}
-	e.t.index[b] = imlPos{core: e.id, idx: idx}
+	e.t.index.Put(uint64(b), packPos(imlPos{core: e.id, idx: idx}))
 }
 
 // metaToken derives a stable token identifying an IML metadata block for

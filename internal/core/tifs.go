@@ -18,6 +18,7 @@ package core
 import (
 	"fmt"
 
+	"tifs/internal/flathash"
 	"tifs/internal/isa"
 	"tifs/internal/prefetch"
 	"tifs/internal/xrand"
@@ -128,6 +129,17 @@ type imlPos struct {
 	idx  uint64 // absolute append index
 }
 
+// packPos packs an IML position into one word for the open-addressed
+// index table: core in the top 16 bits, append index in the low 48.
+// Append indices are bounded by the per-core event budget, so 48 bits
+// never overflow in practice; New rejects core counts beyond 16 bits.
+func packPos(p imlPos) uint64 { return uint64(p.core)<<48 | p.idx }
+
+// unpackPos inverts packPos.
+func unpackPos(v uint64) imlPos {
+	return imlPos{core: int(v >> 48), idx: v & (1<<48 - 1)}
+}
+
 type logEntry struct {
 	block  isa.Block
 	svbHit bool
@@ -139,6 +151,14 @@ type iml struct {
 	entries  []logEntry
 	appended uint64
 	capacity int // 0 = unbounded
+}
+
+// reset empties the log for a new run, keeping the entries slice's
+// capacity (the live window refills to the same size).
+func (l *iml) reset(capacity int) {
+	l.entries = l.entries[:0]
+	l.appended = 0
+	l.capacity = capacity
 }
 
 func (l *iml) append(e logEntry) uint64 {
@@ -180,8 +200,19 @@ type TIFS struct {
 	cfg   Config
 	mem   prefetch.Memory
 	rng   *xrand.Rand
-	index map[isa.Block]imlPos
+	index flathash.Map // block -> packed imlPos (the shared Index Table)
 	cores []*Engine
+}
+
+// indexSizeHint returns the initial Index Table capacity implied by the
+// configuration: a bounded IML can hold at most cores*IMLEntries live
+// log positions at once (the table still grows if the workload touches
+// more distinct blocks over time).
+func (c Config) indexSizeHint(cores int) int {
+	if c.IMLEntries > 0 {
+		return cores * c.IMLEntries
+	}
+	return 1 << 15
 }
 
 // New creates a TIFS instance for the given number of cores. mem carries
@@ -194,12 +225,17 @@ func New(cfg Config, cores int, mem prefetch.Memory) *TIFS {
 	if cores < 1 {
 		panic("core: need at least one core")
 	}
-	t := &TIFS{
-		cfg:   cfg,
-		mem:   mem,
-		rng:   xrand.NewFromString("tifs/" + cfg.Seed),
-		index: make(map[isa.Block]imlPos),
+	if cores > 1<<16 {
+		// packPos keeps the IML core id in 16 bits; beyond that the
+		// index table would alias cores.
+		panic("core: at most 65536 cores supported")
 	}
+	t := &TIFS{
+		cfg: cfg,
+		mem: mem,
+		rng: xrand.NewFromString("tifs/" + cfg.Seed),
+	}
+	t.index.Grow(cfg.indexSizeHint(cores))
 	for i := 0; i < cores; i++ {
 		e := &Engine{
 			t:    t,
@@ -211,6 +247,37 @@ func New(cfg Config, cores int, mem prefetch.Memory) *TIFS {
 		t.cores = append(t.cores, e)
 	}
 	return t
+}
+
+// Reset restores the instance to the state New(cfg, cores, mem) would
+// produce for the same core count, retaining the index table's and the
+// per-core logs' capacity so pooled simulation runs stop allocating once
+// they reach steady-state size.
+func (t *TIFS) Reset(cfg Config, mem prefetch.Memory) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	t.cfg = cfg
+	t.mem = mem
+	t.rng.SeedFromString("tifs/" + cfg.Seed)
+	t.index.Reset()
+	t.index.Grow(cfg.indexSizeHint(len(t.cores)))
+	for _, e := range t.cores {
+		e.log.reset(cfg.IMLEntries)
+		if cap(e.svb) < cfg.SVBBlocks {
+			e.svb = make([]svbEntry, 0, cfg.SVBBlocks)
+		} else {
+			e.svb = e.svb[:0]
+		}
+		if len(e.strs) != cfg.MaxStreams {
+			e.strs = make([]stream, cfg.MaxStreams)
+		} else {
+			clear(e.strs)
+		}
+		e.stats = prefetch.Stats{}
+		e.tstats = TIFSStats{}
+	}
 }
 
 // Config returns the instance configuration (defaults applied).

@@ -215,7 +215,7 @@ func TestVirtualizedIMLTraffic(t *testing.T) {
 	tifs := New(VirtualizedConfig(), 1, mem)
 	e := tifs.Core(0)
 
-	s := stream100(300, EntriesPerIMLBlock * 4)
+	s := stream100(300, EntriesPerIMLBlock*4)
 	feedMisses(e, s, 0)
 	if mem.metaWrites == 0 {
 		t.Error("virtualized IML produced no metadata writes")

@@ -199,6 +199,48 @@ func New(id int, cfg Config, src isa.EventSource, pf prefetch.Prefetcher, un *un
 	return c
 }
 
+// Reset restores the core to the state New(id, cfg, src, nil, un) would
+// produce with the core's existing id and uncore binding, reusing the L1
+// ways, predictor tables, window, and next-line buffers so pooled
+// simulation runs do not reallocate them. The caller attaches the
+// prefetcher afterwards via SetPrefetcher, as after New.
+func (c *Core) Reset(cfg Config, src isa.EventSource) {
+	cfg = cfg.withDefaults()
+	if c.l1.Config() == cfg.L1I {
+		c.l1.Reset()
+	} else {
+		c.l1 = cache.New(cfg.L1I)
+	}
+	if c.pred.Entries() == cfg.PredictorEntries {
+		c.pred.Reset()
+	} else {
+		c.pred = branch.NewHybrid(cfg.PredictorEntries)
+	}
+	c.cfg = cfg
+	c.src = src
+	c.batchSrc, _ = src.(isa.BatchSource)
+	c.srcBudget = cfg.EventBudget
+	c.budgeted = cfg.EventBudget > 0
+	if cap(c.window) < 2*cfg.WindowEvents {
+		c.window = make([]isa.BlockEvent, 0, 2*cfg.WindowEvents)
+	} else {
+		c.window = c.window[:0]
+	}
+	c.head = 0
+	c.nlBlock = c.nlBlock[:0]
+	c.nlReady = c.nlReady[:0]
+	c.nlUsed = c.nlUsed[:0]
+	clear(c.nlCount[:])
+	c.nlSeq = 0
+	c.execAcc = 0
+	c.execCPI = 1.0/float64(cfg.Width) + cfg.BackendCPI
+	c.dataAcc = 0
+	c.cycle = 0
+	c.done = false
+	c.stats = Stats{}
+	c.SetPrefetcher(nil)
+}
+
 // ContainsBlock implements prefetch.L1View.
 func (c *Core) ContainsBlock(b isa.Block) bool { return c.l1.Contains(b) }
 

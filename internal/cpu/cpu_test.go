@@ -151,9 +151,9 @@ type countingPF struct {
 	windows, fetches, events, probes int
 }
 
-func (p *countingPF) OnWindow([]isa.BlockEvent, uint64)                 { p.windows++ }
+func (p *countingPF) OnWindow([]isa.BlockEvent, uint64)                     { p.windows++ }
 func (p *countingPF) OnFetchBlock(isa.Block, prefetch.FetchOutcome, uint64) { p.fetches++ }
-func (p *countingPF) OnEvent(isa.BlockEvent, uint64)                    { p.events++ }
+func (p *countingPF) OnEvent(isa.BlockEvent, uint64)                        { p.events++ }
 func (p *countingPF) Probe(isa.Block, uint64) (uint64, bool) {
 	p.probes++
 	return 0, false

@@ -12,6 +12,13 @@
 // caching cannot change any value, and results are returned in submission
 // order, which keeps experiment tables byte-identical whatever the
 // parallelism.
+//
+// Two tiers extend the memo beyond a single batch: workers draw pooled
+// sim.Runner machines, so repeated simulations reuse all machine state
+// and run allocation-free in steady state, and an optional persistent
+// store (SetStore) carries results and miss traces across processes, so
+// a repeated CLI invocation skips every grid point it has already
+// simulated.
 package engine
 
 import (
@@ -22,6 +29,7 @@ import (
 
 	"tifs/internal/cpu"
 	"tifs/internal/sim"
+	"tifs/internal/store"
 	"tifs/internal/trace"
 	"tifs/internal/workload"
 )
@@ -63,7 +71,17 @@ type Engine struct {
 	sims   map[string]*simEntry
 	traces map[string]*traceEntry
 
-	runs atomic.Uint64 // simulations actually executed (memo misses)
+	// store is the optional persistent second memo tier: keys missing
+	// from the in-process memo are looked up there before simulating,
+	// and freshly simulated results are written back.
+	store *store.Store
+
+	// runners pools reusable simulation machines (one per concurrently
+	// running job); a pooled steady-state run allocates nothing.
+	runners sync.Pool
+
+	runs      atomic.Uint64 // simulations actually executed (memo misses)
+	storeHits atomic.Uint64 // jobs satisfied from the persistent store
 }
 
 // New creates an engine running at most parallelism simulations at once;
@@ -84,8 +102,26 @@ func New(parallelism int) *Engine {
 func (e *Engine) Parallelism() int { return e.parallelism }
 
 // SimulationsRun returns how many simulations actually executed —
-// submissions minus memoization hits — for dedup telemetry and tests.
+// submissions minus memoization and store hits — for dedup telemetry and
+// tests.
 func (e *Engine) SimulationsRun() uint64 { return e.runs.Load() }
+
+// StoreHits returns how many memo-missing jobs were satisfied from the
+// persistent store instead of simulating.
+func (e *Engine) StoreHits() uint64 { return e.storeHits.Load() }
+
+// SetStore attaches a persistent result store as the second memo tier.
+// Attach it before submitting work; it must not change while jobs are in
+// flight. A nil store disables the tier.
+func (e *Engine) SetStore(s *store.Store) { e.store = s }
+
+// runner borrows a pooled simulation machine.
+func (e *Engine) runner() *sim.Runner {
+	if r, ok := e.runners.Get().(*sim.Runner); ok {
+		return r
+	}
+	return sim.NewRunner()
+}
 
 var (
 	defaultOnce   sync.Once
@@ -137,8 +173,23 @@ func (e *Engine) start(job Job) *simEntry {
 	go func() {
 		e.sem <- struct{}{}
 		defer func() { <-e.sem }()
+		if e.store != nil {
+			if res, ok := e.store.GetResult(key); ok {
+				e.storeHits.Add(1)
+				en.res = res
+				close(en.done)
+				return
+			}
+		}
 		e.runs.Add(1)
-		en.res = sim.Run(job.Spec, job.Scale, job.Config)
+		r := e.runner()
+		// The pooled runner reuses its result buffers next run, so the
+		// memoized copy must own its memory.
+		en.res = copyResult(r.Run(job.Spec, job.Scale, job.Config))
+		e.runners.Put(r)
+		if e.store != nil {
+			e.store.PutResult(key, en.res)
+		}
 		close(en.done)
 	}()
 	return en
@@ -182,6 +233,15 @@ func (e *Engine) MissTraces(spec workload.Spec, scale workload.Scale, cores int,
 	e.traces[key] = en
 	e.mu.Unlock()
 
+	if e.store != nil {
+		if recs, ok := e.store.GetMissTraces(key); ok && len(recs) == cores {
+			e.storeHits.Add(1)
+			en.recs = recs
+			close(en.done)
+			return en.recs
+		}
+	}
+
 	gen := workload.Build(spec, scale, cores)
 	sources := gen.Sources()
 	en.recs = make([][]trace.MissRecord, cores)
@@ -195,6 +255,9 @@ func (e *Engine) MissTraces(spec workload.Spec, scale workload.Scale, cores int,
 		}(i)
 	}
 	wg.Wait()
+	if e.store != nil {
+		e.store.PutMissTraces(key, en.recs)
+	}
 	close(en.done)
 	return en.recs
 }

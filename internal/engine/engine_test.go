@@ -6,6 +6,7 @@ import (
 
 	"tifs/internal/core"
 	"tifs/internal/sim"
+	"tifs/internal/store"
 	"tifs/internal/workload"
 )
 
@@ -119,6 +120,64 @@ func TestConcurrentTIFSRuns(t *testing.T) {
 	}
 	if got := e.SimulationsRun(); got != 4 {
 		t.Errorf("ran %d distinct simulations, want 4", got)
+	}
+}
+
+// TestStoreSecondTier checks the persistent tier end to end: a second
+// engine (fresh in-process memo, same store) must satisfy every job and
+// trace extraction from disk with bit-identical results, and a third
+// engine without the store must agree too.
+func TestStoreSecondTier(t *testing.T) {
+	dir := t.TempDir()
+	oltp := spec(t, "OLTP-DB2")
+	web := spec(t, "Web-Zeus")
+	jobs := []Job{
+		job(oltp, sim.Baseline()),
+		job(oltp, sim.TIFS(core.VirtualizedConfig())),
+		job(web, sim.FDIP()),
+	}
+
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := New(2)
+	e1.SetStore(st1)
+	cold := e1.RunAll(jobs)
+	coldTraces := e1.MissTraces(oltp, workload.ScaleSmall, 4, 5_000)
+	if got := e1.SimulationsRun(); got != 3 {
+		t.Fatalf("cold engine ran %d simulations, want 3", got)
+	}
+	if got := e1.StoreHits(); got != 0 {
+		t.Fatalf("cold engine had %d store hits, want 0", got)
+	}
+	st1.Close()
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	e2 := New(2)
+	e2.SetStore(st2)
+	warm := e2.RunAll(jobs)
+	warmTraces := e2.MissTraces(oltp, workload.ScaleSmall, 4, 5_000)
+	if got := e2.SimulationsRun(); got != 0 {
+		t.Errorf("warm engine ran %d simulations, want 0", got)
+	}
+	if got := e2.StoreHits(); got != 4 {
+		t.Errorf("warm engine had %d store hits, want 4 (3 jobs + traces)", got)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Errorf("store round trip changed results:\ncold %+v\nwarm %+v", cold, warm)
+	}
+	if !reflect.DeepEqual(coldTraces, warmTraces) {
+		t.Error("store round trip changed miss traces")
+	}
+
+	plain := New(2).RunAll(jobs)
+	if !reflect.DeepEqual(cold, plain) {
+		t.Error("results with the store differ from results without it")
 	}
 }
 

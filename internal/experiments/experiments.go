@@ -16,6 +16,7 @@ import (
 	"tifs/internal/isa"
 	"tifs/internal/sim"
 	"tifs/internal/stats"
+	"tifs/internal/store"
 	"tifs/internal/trace"
 	"tifs/internal/workload"
 )
@@ -38,10 +39,16 @@ type Options struct {
 	// deterministic in its configuration.
 	Parallelism int
 	// Engine overrides the simulation scheduler (nil selects the
-	// process-wide engine when Parallelism is 0, or a fresh engine at the
-	// requested parallelism). Supplying one engine across several
+	// process-wide engine when Parallelism is 0 and Store is nil, or a
+	// fresh engine otherwise). Supplying one engine across several
 	// experiment runs shares its memoized results between them.
 	Engine *engine.Engine
+	// Store attaches a persistent result store: simulations and miss
+	// traces already cached there are not re-run, and new ones are
+	// written back, so repeated invocations share work across processes.
+	// Results are byte-identical with or without it. Ignored when Engine
+	// is set (configure the engine directly instead).
+	Store *store.Store
 }
 
 func (o Options) withDefaults() Options {
@@ -56,8 +63,10 @@ func (o Options) engine() *engine.Engine {
 	if o.Engine != nil {
 		return o.Engine
 	}
-	if o.Parallelism != 0 {
-		return engine.New(o.Parallelism)
+	if o.Parallelism != 0 || o.Store != nil {
+		e := engine.New(o.Parallelism)
+		e.SetStore(o.Store)
+		return e
 	}
 	return engine.Default()
 }

@@ -1,0 +1,77 @@
+package flathash
+
+import (
+	"testing"
+
+	"tifs/internal/xrand"
+)
+
+func TestMapMatchesGoMap(t *testing.T) {
+	var m Map
+	ref := map[uint64]uint64{}
+	rng := xrand.NewFromString("flathash-test")
+	for i := 0; i < 50_000; i++ {
+		k := uint64(rng.Intn(8000)) // force overwrites and probing chains
+		v := rng.Uint64()
+		m.Put(k, v)
+		ref[k] = v
+		if i%17 == 0 {
+			probe := uint64(rng.Intn(10000))
+			got, ok := m.Get(probe)
+			want, wok := ref[probe]
+			if ok != wok || got != want {
+				t.Fatalf("Get(%d) = %d,%v; want %d,%v", probe, got, ok, want, wok)
+			}
+		}
+	}
+	if m.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", m.Len(), len(ref))
+	}
+	for k, want := range ref {
+		got, ok := m.Get(k)
+		if !ok || got != want {
+			t.Fatalf("Get(%d) = %d,%v; want %d,true", k, got, ok, want)
+		}
+	}
+}
+
+func TestMapResetKeepsCapacity(t *testing.T) {
+	var m Map
+	for i := uint64(0); i < 1000; i++ {
+		m.Put(i, i*3)
+	}
+	capBefore := m.Cap()
+	m.Reset()
+	if m.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", m.Len())
+	}
+	if m.Cap() != capBefore {
+		t.Fatalf("Cap after Reset = %d, want %d", m.Cap(), capBefore)
+	}
+	if _, ok := m.Get(5); ok {
+		t.Fatal("entry survived Reset")
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		for i := uint64(0); i < 1000; i++ {
+			m.Put(i, i)
+		}
+		m.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("refill after Reset allocated %.1f times", allocs)
+	}
+}
+
+func TestMapGrowPreSizes(t *testing.T) {
+	var m Map
+	m.Grow(1000)
+	allocs := testing.AllocsPerRun(2, func() {
+		for i := uint64(0); i < 1000; i++ {
+			m.Put(i, i)
+		}
+		m.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("pre-sized fill allocated %.1f times", allocs)
+	}
+}

@@ -69,6 +69,26 @@ func NewDiscontinuity(cfg DiscontinuityConfig, core int, mem Memory, l1 L1View) 
 	}
 }
 
+// Reset restores the engine to the state NewDiscontinuity would produce
+// for the same core/memory/L1 binding, reusing its table and buffer.
+func (d *Discontinuity) Reset(cfg DiscontinuityConfig) {
+	cfg = cfg.withDefaults()
+	if len(d.table) == cfg.TableEntries {
+		clear(d.table)
+	} else {
+		d.table = make([]discEntry, cfg.TableEntries)
+	}
+	if cap(d.buffer) < cfg.BufferBlocks {
+		d.buffer = make([]fdipEntry, 0, cfg.BufferBlocks)
+	} else {
+		d.buffer = d.buffer[:0]
+	}
+	d.cfg = cfg
+	d.prevBlock = 0
+	d.havePrev = false
+	d.stats = Stats{}
+}
+
 // Name implements Prefetcher.
 func (d *Discontinuity) Name() string { return "discontinuity" }
 

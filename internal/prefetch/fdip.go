@@ -2,6 +2,7 @@ package prefetch
 
 import (
 	"tifs/internal/branch"
+	"tifs/internal/flathash"
 	"tifs/internal/isa"
 )
 
@@ -73,7 +74,7 @@ type FDIP struct {
 	core int
 
 	pred       *branch.Hybrid
-	lastTarget map[isa.Addr]isa.Addr // indirect call site -> last target
+	lastTarget flathash.Map // indirect call site -> last target
 
 	buffer   []fdipEntry
 	explored int // leading window events already explored
@@ -86,14 +87,35 @@ type FDIP struct {
 func NewFDIP(cfg FDIPConfig, core int, mem Memory, l1 L1View) *FDIP {
 	cfg = cfg.withDefaults()
 	return &FDIP{
-		cfg:        cfg,
-		mem:        mem,
-		l1:         l1,
-		core:       core,
-		pred:       branch.NewHybrid(cfg.PredictorEntries),
-		lastTarget: make(map[isa.Addr]isa.Addr),
-		buffer:     make([]fdipEntry, 0, cfg.BufferBlocks),
+		cfg:    cfg,
+		mem:    mem,
+		l1:     l1,
+		core:   core,
+		pred:   branch.NewHybrid(cfg.PredictorEntries),
+		buffer: make([]fdipEntry, 0, cfg.BufferBlocks),
 	}
+}
+
+// Reset restores the engine to the state NewFDIP would produce for the
+// same core/memory/L1 binding, reusing its tables so pooled simulation
+// runs do not reallocate them.
+func (f *FDIP) Reset(cfg FDIPConfig) {
+	cfg = cfg.withDefaults()
+	if f.pred.Entries() == cfg.PredictorEntries {
+		f.pred.Reset()
+	} else {
+		f.pred = branch.NewHybrid(cfg.PredictorEntries)
+	}
+	f.lastTarget.Reset()
+	if cap(f.buffer) < cfg.BufferBlocks {
+		f.buffer = make([]fdipEntry, 0, cfg.BufferBlocks)
+	} else {
+		f.buffer = f.buffer[:0]
+	}
+	f.cfg = cfg
+	f.explored = 0
+	f.blocked = 0
+	f.stats = Stats{}
 }
 
 // Name implements Prefetcher.
@@ -110,8 +132,8 @@ func (f *FDIP) predictable(ev isa.BlockEvent) (ok, conditional bool) {
 	case isa.CTJump:
 		return true, false // static target, BTB-resident
 	case isa.CTCall:
-		last, seen := f.lastTarget[ev.LastPC()]
-		return seen && last == ev.Target, false
+		last, seen := f.lastTarget.Get(uint64(ev.LastPC()))
+		return seen && isa.Addr(last) == ev.Target, false
 	case isa.CTReturn:
 		return true, false // return-address stack
 	default: // traps and trap returns are asynchronous redirects
@@ -184,8 +206,8 @@ func (f *FDIP) wrongPath(ev isa.BlockEvent, now uint64) {
 			start = ev.Target
 		}
 	case isa.CTCall:
-		if last, seen := f.lastTarget[ev.LastPC()]; seen && last != ev.Target {
-			start = last
+		if last, seen := f.lastTarget.Get(uint64(ev.LastPC())); seen && isa.Addr(last) != ev.Target {
+			start = isa.Addr(last)
 		} else {
 			return // no predicted target: nothing was fetched
 		}
@@ -238,7 +260,7 @@ func (f *FDIP) OnEvent(ev isa.BlockEvent, now uint64) {
 	case isa.CTBranch:
 		f.pred.Update(ev.LastPC(), ev.Taken)
 	case isa.CTCall:
-		f.lastTarget[ev.LastPC()] = ev.Target
+		f.lastTarget.Put(uint64(ev.LastPC()), uint64(ev.Target))
 	}
 }
 

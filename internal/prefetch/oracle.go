@@ -1,6 +1,7 @@
 package prefetch
 
 import (
+	"tifs/internal/flathash"
 	"tifs/internal/isa"
 	"tifs/internal/xrand"
 )
@@ -10,13 +11,20 @@ import (
 // First-touch misses still go to memory, exactly as in the paper's
 // probabilistic model at 100% coverage (Section 2).
 type Perfect struct {
-	seen  map[isa.Block]struct{}
+	seen  flathash.Map
 	stats Stats
 }
 
 // NewPerfect returns a perfect streamer.
 func NewPerfect() *Perfect {
-	return &Perfect{seen: make(map[isa.Block]struct{})}
+	return &Perfect{}
+}
+
+// Reset restores the freshly constructed state, keeping the seen table's
+// capacity for reuse across pooled simulation runs.
+func (p *Perfect) Reset() {
+	p.seen.Reset()
+	p.stats = Stats{}
 }
 
 // Name implements Prefetcher.
@@ -27,7 +35,7 @@ func (p *Perfect) OnWindow([]isa.BlockEvent, uint64) {}
 
 // OnFetchBlock implements Prefetcher.
 func (p *Perfect) OnFetchBlock(b isa.Block, outcome FetchOutcome, now uint64) {
-	p.seen[b] = struct{}{}
+	p.seen.Put(uint64(b), 1)
 }
 
 // OnEvent implements Prefetcher.
@@ -35,7 +43,7 @@ func (p *Perfect) OnEvent(isa.BlockEvent, uint64) {}
 
 // Probe implements Prefetcher: instant hit for any previously seen block.
 func (p *Perfect) Probe(b isa.Block, now uint64) (uint64, bool) {
-	if _, ok := p.seen[b]; ok {
+	if p.seen.Contains(uint64(b)) {
 		p.stats.HitsTimely++
 		return now, true
 	}
@@ -50,7 +58,7 @@ func (p *Perfect) Stats() Stats { return p.stats }
 // probability equal to the configured coverage.
 type Probabilistic struct {
 	coverage float64
-	seen     map[isa.Block]struct{}
+	seen     flathash.Map
 	rng      *xrand.Rand
 	stats    Stats
 }
@@ -59,9 +67,17 @@ type Probabilistic struct {
 func NewProbabilistic(coverage float64, seed string) *Probabilistic {
 	return &Probabilistic{
 		coverage: coverage,
-		seen:     make(map[isa.Block]struct{}),
 		rng:      xrand.NewFromString("probabilistic/" + seed),
 	}
+}
+
+// Reset restores the state NewProbabilistic(coverage, seed) would
+// produce, reusing the seen table and generator.
+func (p *Probabilistic) Reset(coverage float64, seed string) {
+	p.coverage = coverage
+	p.seen.Reset()
+	p.rng.SeedFromString("probabilistic/" + seed)
+	p.stats = Stats{}
 }
 
 // Name implements Prefetcher.
@@ -72,7 +88,7 @@ func (p *Probabilistic) OnWindow([]isa.BlockEvent, uint64) {}
 
 // OnFetchBlock implements Prefetcher.
 func (p *Probabilistic) OnFetchBlock(b isa.Block, outcome FetchOutcome, now uint64) {
-	p.seen[b] = struct{}{}
+	p.seen.Put(uint64(b), 1)
 }
 
 // OnEvent implements Prefetcher.
@@ -80,7 +96,7 @@ func (p *Probabilistic) OnEvent(isa.BlockEvent, uint64) {}
 
 // Probe implements Prefetcher.
 func (p *Probabilistic) Probe(b isa.Block, now uint64) (uint64, bool) {
-	if _, ok := p.seen[b]; !ok {
+	if !p.seen.Contains(uint64(b)) {
 		return 0, false
 	}
 	if !p.rng.Bool(p.coverage) {

@@ -8,7 +8,7 @@ import (
 
 // fakeMem is a fixed-latency Memory for unit tests.
 type fakeMem struct {
-	latency   uint64
+	latency    uint64
 	prefetches []isa.Block
 	metaReads  int
 	metaWrites int

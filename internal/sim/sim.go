@@ -14,6 +14,7 @@ import (
 
 	"tifs/internal/core"
 	"tifs/internal/cpu"
+	"tifs/internal/isa"
 	"tifs/internal/prefetch"
 	"tifs/internal/uncore"
 	"tifs/internal/workload"
@@ -197,7 +198,92 @@ func (r Result) FetchStallShare() float64 {
 }
 
 // Run executes one configuration over a freshly built workload instance.
+// It is a convenience wrapper over a single-use Runner; batch callers
+// (the experiment engine) pool Runners to make repeated runs
+// allocation-free.
 func Run(spec workload.Spec, scale workload.Scale, cfg Config) Result {
+	return NewRunner().Run(spec, scale, cfg)
+}
+
+// genKey identifies a reusable workload instance. It embeds the whole
+// spec — every field participates in workload construction, so two
+// same-named specs that differ anywhere must not share an instance.
+// Spec is all scalars and strings, so the struct is comparable and the
+// map lookup allocation-free.
+type genKey struct {
+	spec  workload.Spec
+	scale workload.Scale
+	cores int
+}
+
+// genEntry caches one instantiated workload plus values derived from it
+// that would otherwise be rebuilt (and allocated) every run.
+type genEntry struct {
+	gen      *workload.Generated
+	sources  []isa.EventSource
+	tifsSeed string // spec.Name + "/" + scale.String()
+}
+
+// Runner executes simulations while recycling every piece of machine
+// state between runs: the workload executors, the per-core caches,
+// predictors and next-line buffers, the shared L2, the TIFS instance
+// (IMLs, SVBs, and the open-addressed Index Table), and the alternative
+// prefetch mechanisms. After a warmup run of a given shape, repeated
+// runs perform zero heap allocations (verified by
+// TestRunnerSteadyStateZeroAlloc).
+//
+// The returned Result's PerCore and TIFS fields alias buffers owned by
+// the Runner; they are valid until the next Run call, so callers that
+// retain results across runs must deep-copy them first (the experiment
+// engine does). A Runner is not safe for concurrent use; pool one per
+// worker.
+type Runner struct {
+	gens map[genKey]*genEntry
+
+	un    *uncore.L2
+	cores []*cpu.Core
+	tifs  *core.TIFS
+	fdip  []*prefetch.FDIP
+	disc  []*prefetch.Discontinuity
+	perf  []*prefetch.Perfect
+	prob  []*prefetch.Probabilistic
+
+	// probSeeds caches the per-core seed strings of the probabilistic
+	// mechanism for the workload named probSpec.
+	probSeeds []string
+	probSpec  string
+
+	warmStats []cpu.Stats
+	warmPf    []prefetch.Stats
+	warmed    []bool
+	heap      coreHeap
+	perCore   []cpu.Stats
+	tstats    core.TIFSStats
+}
+
+// NewRunner creates an empty Runner; its pools fill on first use.
+func NewRunner() *Runner {
+	return &Runner{gens: map[genKey]*genEntry{}}
+}
+
+// workload returns a reusable instance for (spec, scale, cores), rewound
+// to its initial state.
+func (r *Runner) workload(spec workload.Spec, scale workload.Scale, cores int) *genEntry {
+	key := genKey{spec: spec, scale: scale, cores: cores}
+	if ge, ok := r.gens[key]; ok {
+		ge.gen.Reset()
+		return ge
+	}
+	gen := workload.Build(spec, scale, cores)
+	ge := &genEntry{gen: gen, sources: gen.Sources(), tifsSeed: spec.Name + "/" + scale.String()}
+	r.gens[key] = ge
+	return ge
+}
+
+// Run executes one configuration, reusing the Runner's pooled machine
+// state. Results are bit-identical to a fresh Run: every Reset restores
+// exactly the state construction would produce.
+func (r *Runner) Run(spec workload.Spec, scale workload.Scale, cfg Config) Result {
 	if cfg.Cores == 0 {
 		cfg.Cores = 4
 	}
@@ -211,42 +297,100 @@ func Run(spec workload.Spec, scale workload.Scale, cfg Config) Result {
 		cfg.CPU.BackendCPI = spec.BackendCPI
 	}
 
-	gen := workload.Build(spec, scale, cfg.Cores)
-	un := uncore.New(cfg.Uncore)
+	ge := r.workload(spec, scale, cfg.Cores)
+	if r.un == nil {
+		r.un = uncore.New(cfg.Uncore)
+	} else {
+		r.un.Reset(cfg.Uncore)
+	}
+	un := r.un
 
-	// Build per-core prefetchers; TIFS is one shared instance.
+	// A changed core count invalidates everything bound to the core
+	// slice (prefetchers hold L1 views into it).
+	if len(r.cores) != cfg.Cores {
+		r.cores = make([]*cpu.Core, cfg.Cores)
+		r.tifs = nil
+		r.fdip = nil
+		r.disc = nil
+		r.perf = nil
+		r.prob = nil
+	}
+
+	// Build or reset per-core state; TIFS is one shared instance.
 	var tifs *core.TIFS
-	cores := make([]*cpu.Core, cfg.Cores)
-	sources := gen.Sources()
-	for i := range cores {
+	for i := range r.cores {
 		ccfg := cfg.CPU
 		ccfg.EventBudget = cfg.WarmupEvents + cfg.EventsPerCore
-		c := cpu.New(i, ccfg, sources[i], nil, un)
+		c := r.cores[i]
+		if c == nil {
+			c = cpu.New(i, ccfg, ge.sources[i], nil, un)
+			r.cores[i] = c
+		} else {
+			c.Reset(ccfg, ge.sources[i])
+		}
 		var pf prefetch.Prefetcher
 		switch cfg.Mechanism.Kind {
 		case "", KindNone:
 			pf = prefetch.None{}
 		case KindFDIP:
-			pf = prefetch.NewFDIP(cfg.Mechanism.FDIP, i, un, c)
+			if r.fdip == nil {
+				r.fdip = make([]*prefetch.FDIP, cfg.Cores)
+			}
+			if r.fdip[i] == nil {
+				r.fdip[i] = prefetch.NewFDIP(cfg.Mechanism.FDIP, i, un, c)
+			} else {
+				r.fdip[i].Reset(cfg.Mechanism.FDIP)
+			}
+			pf = r.fdip[i]
 		case KindDiscontinuity:
-			pf = prefetch.NewDiscontinuity(cfg.Mechanism.Discontinuity, i, un, c)
+			if r.disc == nil {
+				r.disc = make([]*prefetch.Discontinuity, cfg.Cores)
+			}
+			if r.disc[i] == nil {
+				r.disc[i] = prefetch.NewDiscontinuity(cfg.Mechanism.Discontinuity, i, un, c)
+			} else {
+				r.disc[i].Reset(cfg.Mechanism.Discontinuity)
+			}
+			pf = r.disc[i]
 		case KindTIFS:
 			if tifs == nil {
 				tcfg := cfg.Mechanism.TIFS
-				tcfg.Seed = spec.Name + "/" + scale.String()
-				tifs = core.New(tcfg, cfg.Cores, un)
+				tcfg.Seed = ge.tifsSeed
+				if r.tifs == nil {
+					r.tifs = core.New(tcfg, cfg.Cores, un)
+				} else {
+					r.tifs.Reset(tcfg, un)
+				}
+				tifs = r.tifs
 			}
 			pf = tifs.Core(i)
 		case KindPerfect:
-			pf = prefetch.NewPerfect()
+			if r.perf == nil {
+				r.perf = make([]*prefetch.Perfect, cfg.Cores)
+			}
+			if r.perf[i] == nil {
+				r.perf[i] = prefetch.NewPerfect()
+			} else {
+				r.perf[i].Reset()
+			}
+			pf = r.perf[i]
 		case KindProb:
-			pf = prefetch.NewProbabilistic(cfg.Mechanism.Coverage, fmt.Sprintf("%s/%d", spec.Name, i))
+			if r.prob == nil {
+				r.prob = make([]*prefetch.Probabilistic, cfg.Cores)
+			}
+			seed := r.probSeed(spec.Name, i, cfg.Cores)
+			if r.prob[i] == nil {
+				r.prob[i] = prefetch.NewProbabilistic(cfg.Mechanism.Coverage, seed)
+			} else {
+				r.prob[i].Reset(cfg.Mechanism.Coverage, seed)
+			}
+			pf = r.prob[i]
 		default:
 			panic("sim: unknown mechanism " + cfg.Mechanism.Kind)
 		}
 		c.SetPrefetcher(pf)
-		cores[i] = c
 	}
+	cores := r.cores
 
 	// Interleave cores in core-local time order, snapshotting each core's
 	// counters when it crosses its warmup boundary so only steady-state
@@ -254,12 +398,13 @@ func Run(spec workload.Spec, scale workload.Scale, cfg Config) Result {
 	// on (cycle, core index) — the same order the previous linear scan
 	// produced (lowest cycle, ties to the lowest index) at O(log cores)
 	// per step instead of O(cores).
-	warmStats := make([]cpu.Stats, cfg.Cores)
-	warmPf := make([]prefetch.Stats, cfg.Cores)
-	warmed := make([]bool, cfg.Cores)
+	warmStats := resetSlice(&r.warmStats, cfg.Cores)
+	warmPf := resetSlice(&r.warmPf, cfg.Cores)
+	warmed := resetSlice(&r.warmed, cfg.Cores)
 	var warmTraffic uncore.Traffic
 	warmedCount := 0
-	h := newCoreHeap(cores)
+	h := &r.heap
+	h.init(cores)
 	for h.len() > 0 {
 		next := h.min()
 		if !cores[next].Step() {
@@ -284,9 +429,13 @@ func Run(spec workload.Spec, scale workload.Scale, cfg Config) Result {
 		Traffic:   subTraffic(un.Traffic(), warmTraffic),
 		Uncore:    un.Stats(),
 	}
+	if cap(r.perCore) < cfg.Cores {
+		r.perCore = make([]cpu.Stats, 0, cfg.Cores)
+	}
+	r.perCore = r.perCore[:0]
 	for i, c := range cores {
 		st := subStats(c.Stats(), warmStats[i])
-		res.PerCore = append(res.PerCore, st)
+		r.perCore = append(r.perCore, st)
 		res.TotalInstrs += st.Instrs
 		res.TotalEvents += st.Events
 		if st.Cycles > res.Cycles {
@@ -294,11 +443,37 @@ func Run(spec workload.Spec, scale workload.Scale, cfg Config) Result {
 		}
 		res.Prefetch.Add(subPf(c.Prefetcher().Stats(), warmPf[i]))
 	}
+	res.PerCore = r.perCore
 	if tifs != nil {
-		ts := tifs.TIFSStats()
-		res.TIFS = &ts
+		r.tstats = tifs.TIFSStats()
+		res.TIFS = &r.tstats
 	}
 	return res
+}
+
+// probSeed returns the cached probabilistic-mechanism seed string for
+// (workload, core), rebuilding the cache only when the workload changes.
+func (r *Runner) probSeed(workloadName string, i, cores int) string {
+	if r.probSpec != workloadName || len(r.probSeeds) != cores {
+		r.probSeeds = make([]string, cores)
+		for c := 0; c < cores; c++ {
+			r.probSeeds[c] = fmt.Sprintf("%s/%d", workloadName, c)
+		}
+		r.probSpec = workloadName
+	}
+	return r.probSeeds[i]
+}
+
+// resetSlice returns *s resized to n with zeroed elements, reusing its
+// backing array.
+func resetSlice[T any](s *[]T, n int) []T {
+	if cap(*s) < n {
+		*s = make([]T, n)
+	} else {
+		*s = (*s)[:n]
+		clear(*s)
+	}
+	return *s
 }
 
 // subStats subtracts a warmup snapshot from final core counters.
@@ -348,11 +523,16 @@ type coreHeap struct {
 	key   []uint64 // cached core clocks, parallel to idx
 }
 
-func newCoreHeap(cores []*cpu.Core) *coreHeap {
-	h := &coreHeap{
-		cores: cores,
-		idx:   make([]int, len(cores)),
-		key:   make([]uint64, len(cores)),
+// init (re)builds the heap over cores, reusing its slices across pooled
+// runs.
+func (h *coreHeap) init(cores []*cpu.Core) {
+	h.cores = cores
+	if cap(h.idx) < len(cores) {
+		h.idx = make([]int, len(cores))
+		h.key = make([]uint64, len(cores))
+	} else {
+		h.idx = h.idx[:len(cores)]
+		h.key = h.key[:len(cores)]
 	}
 	for i := range h.idx {
 		h.idx[i] = i
@@ -361,7 +541,6 @@ func newCoreHeap(cores []*cpu.Core) *coreHeap {
 	for i := len(h.idx)/2 - 1; i >= 0; i-- {
 		h.down(i)
 	}
-	return h
 }
 
 func (h *coreHeap) len() int { return len(h.idx) }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"reflect"
 	"testing"
 
 	"tifs/internal/core"
@@ -140,6 +141,127 @@ func TestMechanismNames(t *testing.T) {
 		if got := m.Name(); got != want {
 			t.Errorf("Name = %q, want %q", got, want)
 		}
+	}
+}
+
+// testMechanisms is every mechanism kind, for reuse-correctness checks.
+func testMechanisms() map[string]Mechanism {
+	return map[string]Mechanism{
+		"baseline":         Baseline(),
+		"fdip":             FDIP(),
+		"discontinuity":    Discontinuity(),
+		"tifs-unbounded":   TIFS(core.UnboundedConfig()),
+		"tifs-dedicated":   TIFS(core.DedicatedConfig()),
+		"tifs-virtualized": TIFS(core.VirtualizedConfig()),
+		"perfect":          Perfect(),
+		"probabilistic":    Probabilistic(0.6),
+	}
+}
+
+// TestRunnerMatchesFreshRun reruns every mechanism through one shared
+// Runner — including mechanism switches and a repeat of the first
+// mechanism after all the others have dirtied the pooled state — and
+// requires bit-identical results to fresh, unpooled runs.
+func TestRunnerMatchesFreshRun(t *testing.T) {
+	spec, ok := workload.ByName("OLTP-DB2")
+	if !ok {
+		t.Fatal("workload missing")
+	}
+	web, ok := workload.ByName("Web-Zeus")
+	if !ok {
+		t.Fatal("workload missing")
+	}
+	cfg := func(m Mechanism) Config {
+		return Config{EventsPerCore: 20_000, WarmupEvents: 5_000, Mechanism: m}
+	}
+	r := NewRunner()
+	for name, m := range testMechanisms() {
+		for _, s := range []workload.Spec{spec, web} {
+			fresh := Run(s, workload.ScaleSmall, cfg(m))
+			pooled := r.Run(s, workload.ScaleSmall, cfg(m))
+			// Compare via deep copies: pooled results alias runner buffers.
+			if !resultsEqual(fresh, pooled) {
+				t.Errorf("%s/%s: pooled run diverged from fresh run\nfresh:  %+v\npooled: %+v",
+					name, s.Name, fresh, pooled)
+			}
+		}
+	}
+	// Re-run the baseline after the pool has served every other shape.
+	fresh := Run(spec, workload.ScaleSmall, cfg(Baseline()))
+	pooled := r.Run(spec, workload.ScaleSmall, cfg(Baseline()))
+	if !resultsEqual(fresh, pooled) {
+		t.Error("baseline diverged after pooled mechanism churn")
+	}
+}
+
+// resultsEqual compares two results by value, following the TIFS
+// pointer.
+func resultsEqual(a, b Result) bool {
+	ta, tb := a.TIFS, b.TIFS
+	a.TIFS, b.TIFS = nil, nil
+	if !reflect.DeepEqual(a, b) {
+		return false
+	}
+	if (ta == nil) != (tb == nil) {
+		return false
+	}
+	return ta == nil || *ta == *tb
+}
+
+// TestRunnerDistinguishesModifiedSpecs: the workload cache must key on
+// the whole spec, not just its name — a same-named spec with any field
+// changed is a different workload.
+func TestRunnerDistinguishesModifiedSpecs(t *testing.T) {
+	spec, ok := workload.ByName("OLTP-DB2")
+	if !ok {
+		t.Fatal("workload missing")
+	}
+	mod := spec
+	mod.ThreadsPerCore = 2
+	mod.TrapMeanInstrs = 100_000
+	cfg := Config{EventsPerCore: 10_000, WarmupEvents: 2_000, Mechanism: Baseline()}
+
+	r := NewRunner()
+	origCycles := r.Run(spec, workload.ScaleSmall, cfg).Cycles
+	fresh := Run(mod, workload.ScaleSmall, cfg)
+	pooled := r.Run(mod, workload.ScaleSmall, cfg)
+	if !resultsEqual(fresh, pooled) {
+		t.Errorf("pooled run of the modified spec diverged from a fresh run:\nfresh  %+v\npooled %+v", fresh, pooled)
+	}
+	if pooled.Cycles == origCycles {
+		t.Error("modified spec produced the original spec's cycles; workload cache ignored the change")
+	}
+}
+
+// TestRunnerSteadyStateZeroAlloc verifies the acceptance criterion of
+// the pooled path: once warmed, a repeated simulation run performs zero
+// heap allocations for the paper's headline mechanisms.
+func TestRunnerSteadyStateZeroAlloc(t *testing.T) {
+	spec, ok := workload.ByName("OLTP-DB2")
+	if !ok {
+		t.Fatal("workload missing")
+	}
+	for _, tc := range []struct {
+		name string
+		mech Mechanism
+	}{
+		{"baseline", Baseline()},
+		{"tifs-dedicated", TIFS(core.DedicatedConfig())},
+		{"tifs-virtualized", TIFS(core.VirtualizedConfig())},
+		{"tifs-unbounded", TIFS(core.UnboundedConfig())},
+		{"perfect", Perfect()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRunner()
+			cfg := Config{EventsPerCore: 12_000, WarmupEvents: 3_000, Mechanism: tc.mech}
+			r.Run(spec, workload.ScaleSmall, cfg) // reach steady-state capacity
+			allocs := testing.AllocsPerRun(2, func() {
+				r.Run(spec, workload.ScaleSmall, cfg)
+			})
+			if allocs != 0 {
+				t.Errorf("steady-state run allocated %.1f times, want 0", allocs)
+			}
+		})
 	}
 }
 

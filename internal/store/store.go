@@ -1,0 +1,306 @@
+// Package store is a persistent, content-addressed cache of simulation
+// outputs. The experiment engine memoizes within a process; the store
+// extends that memo across processes, so repeated CLI invocations and
+// resumed full-scale sweeps skip every grid point they have already
+// simulated.
+//
+// Entries are addressed by the SHA-256 of a canonical description of the
+// work — for simulation results the engine job key, which spells out the
+// complete (workload spec, scale, mechanism, simulator config) identity;
+// for miss traces the extraction key. The on-disk layout is a single
+// append-only log: a magic+version header followed by self-delimiting
+// records (key hash, varint-length payload, CRC), in the varint codec
+// style of internal/trace. Appending never rewrites earlier records, so
+// interrupted runs keep everything they finished.
+//
+// The store is defensive in exactly one direction: any mismatch —
+// truncated tail, bad CRC, undecodable payload, stale format version —
+// degrades to a cache miss and the caller re-simulates. A bumped
+// FormatVersion discards the whole file on open. Results can be stale
+// only if the simulator's semantics change without a version bump; bump
+// FormatVersion in the same change that alters any simulated number.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"tifs/internal/sim"
+	"tifs/internal/trace"
+)
+
+// FormatVersion identifies the store layout AND the simulator semantics
+// the cached numbers were produced under. Bump it whenever either
+// changes; stores written under other versions are discarded on open.
+const FormatVersion = 1
+
+// fileName is the log file inside the cache directory.
+const fileName = "results.tifs"
+
+var magic = []byte("TIFSTORE")
+
+// Record kinds (part of the content address).
+const (
+	kindResult     byte = 1
+	kindMissTraces byte = 2
+)
+
+// Stats reports store activity for telemetry.
+type Stats struct {
+	// Hits and Misses count lookups by outcome.
+	Hits, Misses uint64
+	// Puts counts records appended this session.
+	Puts uint64
+	// Entries is the number of records currently addressable.
+	Entries int
+}
+
+// String renders a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("store: hits=%d misses=%d puts=%d entries=%d",
+		s.Hits, s.Misses, s.Puts, s.Entries)
+}
+
+// Store is a persistent result cache. It is safe for concurrent use
+// within one process; concurrent writers from separate processes are not
+// coordinated (last append wins, readers see a valid prefix).
+type Store struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	entries map[[sha256.Size]byte][]byte
+	// writeFailed latches after a failed or short append. Later appends
+	// would land after the torn bytes and be discarded wholesale by the
+	// next load's truncation, so once a write fails the log is frozen:
+	// entries keep serving this process from memory and the next process
+	// re-simulates only what never reached disk.
+	writeFailed bool
+
+	hits, misses, puts atomic.Uint64
+}
+
+// Open opens (creating if needed) the store in dir. A file written by a
+// different FormatVersion, or with a corrupt tail, is truncated back to
+// its valid prefix — stale or damaged state can only cause cache misses,
+// never wrong results.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	path := filepath.Join(dir, fileName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{f: f, path: path, entries: map[[sha256.Size]byte][]byte{}}
+	if err := s.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Path returns the log file location.
+func (s *Store) Path() string { return s.path }
+
+// Stats returns current counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	n := len(s.entries)
+	s.mu.Unlock()
+	return Stats{
+		Hits:    s.hits.Load(),
+		Misses:  s.misses.Load(),
+		Puts:    s.puts.Load(),
+		Entries: n,
+	}
+}
+
+// Close flushes and closes the log file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}
+
+// load reads the log, keeps its valid prefix in memory, and truncates
+// anything unreadable beyond it.
+func (s *Store) load() error {
+	data, err := os.ReadFile(s.path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	header := append(append([]byte{}, magic...), FormatVersion)
+	if len(data) < len(header) || string(data[:len(magic)]) != string(magic) || data[len(magic)] != FormatVersion {
+		// Empty, foreign, or stale-version file: start fresh. Cached
+		// numbers from another format version must not be served.
+		if err := s.f.Truncate(0); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if _, err := s.f.WriteAt(header, 0); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		return s.seekEnd(int64(len(header)))
+	}
+	// Scan records; stop at the first corrupt or truncated one.
+	pos := len(header)
+	for pos < len(data) {
+		next, key, payload, ok := parseRecord(data, pos)
+		if !ok {
+			break
+		}
+		s.entries[key] = payload
+		pos = next
+	}
+	if pos < len(data) {
+		if err := s.f.Truncate(int64(pos)); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	return s.seekEnd(int64(pos))
+}
+
+func (s *Store) seekEnd(off int64) error {
+	if _, err := s.f.Seek(off, 0); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// parseRecord decodes the record at data[pos:]: 32-byte key hash, varint
+// payload length, payload, 4-byte little-endian CRC-32 (IEEE) of the
+// payload. ok is false on truncation or checksum mismatch.
+func parseRecord(data []byte, pos int) (next int, key [sha256.Size]byte, payload []byte, ok bool) {
+	if pos+sha256.Size > len(data) {
+		return 0, key, nil, false
+	}
+	copy(key[:], data[pos:pos+sha256.Size])
+	pos += sha256.Size
+	plen, n := binary.Uvarint(data[pos:])
+	if n <= 0 || plen > uint64(len(data)) {
+		return 0, key, nil, false
+	}
+	pos += n
+	if pos+int(plen)+4 > len(data) {
+		return 0, key, nil, false
+	}
+	payload = data[pos : pos+int(plen)]
+	pos += int(plen)
+	if binary.LittleEndian.Uint32(data[pos:pos+4]) != crc32.ChecksumIEEE(payload) {
+		return 0, key, nil, false
+	}
+	return pos + 4, key, payload, true
+}
+
+// address derives the content address of (kind, key).
+func address(kind byte, key string) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write([]byte{kind})
+	h.Write([]byte(key))
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// get returns the payload stored under (kind, key). Hit/miss counting
+// happens in the typed getters, after the payload decodes.
+func (s *Store) get(kind byte, key string) ([]byte, bool) {
+	addr := address(kind, key)
+	s.mu.Lock()
+	payload, ok := s.entries[addr]
+	s.mu.Unlock()
+	return payload, ok
+}
+
+// drop forgets an entry whose payload would not decode, so the caller's
+// re-simulated replacement can be put (later records shadow earlier
+// ones with the same address on the next load).
+func (s *Store) drop(kind byte, key string) {
+	addr := address(kind, key)
+	s.mu.Lock()
+	delete(s.entries, addr)
+	s.mu.Unlock()
+}
+
+// put appends a record and indexes it. Write errors (disk full,
+// read-only media) disable nothing: the entry still lands in memory and
+// the next process simply re-simulates.
+func (s *Store) put(kind byte, key string, payload []byte) {
+	addr := address(kind, key)
+	rec := make([]byte, 0, sha256.Size+binary.MaxVarintLen64+len(payload)+4)
+	rec = append(rec, addr[:]...)
+	rec = binary.AppendUvarint(rec, uint64(len(payload)))
+	rec = append(rec, payload...)
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(payload))
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.entries[addr]; exists {
+		return
+	}
+	s.entries[addr] = payload
+	s.puts.Add(1)
+	if s.writeFailed {
+		return
+	}
+	if n, err := s.f.Write(rec); err != nil || n != len(rec) {
+		s.writeFailed = true
+	}
+}
+
+// GetResult returns the cached simulation result for the engine job key,
+// if present and decodable.
+func (s *Store) GetResult(key string) (sim.Result, bool) {
+	payload, ok := s.get(kindResult, key)
+	if !ok {
+		s.misses.Add(1)
+		return sim.Result{}, false
+	}
+	res, err := decodeResult(payload)
+	if err != nil {
+		s.misses.Add(1)
+		s.drop(kindResult, key)
+		return sim.Result{}, false
+	}
+	s.hits.Add(1)
+	return res, true
+}
+
+// PutResult caches a simulation result under the engine job key. The
+// result is deep-encoded; the caller's slices are not retained.
+func (s *Store) PutResult(key string, r sim.Result) {
+	s.put(kindResult, key, encodeResult(r))
+}
+
+// GetMissTraces returns the cached per-core filtered miss traces for an
+// extraction key, if present and decodable.
+func (s *Store) GetMissTraces(key string) ([][]trace.MissRecord, bool) {
+	payload, ok := s.get(kindMissTraces, key)
+	if !ok {
+		s.misses.Add(1)
+		return nil, false
+	}
+	recs, err := decodeMissTraces(payload)
+	if err != nil {
+		s.misses.Add(1)
+		s.drop(kindMissTraces, key)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return recs, true
+}
+
+// PutMissTraces caches per-core miss traces under an extraction key.
+func (s *Store) PutMissTraces(key string, recs [][]trace.MissRecord) {
+	payload, err := encodeMissTraces(recs)
+	if err != nil {
+		return
+	}
+	s.put(kindMissTraces, key, payload)
+}

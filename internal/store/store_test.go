@@ -1,0 +1,220 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"tifs/internal/core"
+	"tifs/internal/sim"
+	"tifs/internal/trace"
+	"tifs/internal/workload"
+)
+
+// realResult simulates a TIFS-virtualized configuration so the
+// round-trip exercises every Result field, including the TIFS stats and
+// the IML traffic ledger entries.
+func realResult(t testing.TB) sim.Result {
+	t.Helper()
+	spec, ok := workload.ByName("OLTP-DB2")
+	if !ok {
+		t.Fatal("workload missing")
+	}
+	return sim.Run(spec, workload.ScaleSmall, sim.Config{
+		EventsPerCore: 8_000,
+		Mechanism:     sim.TIFS(core.VirtualizedConfig()),
+	})
+}
+
+// TestResultCodecRoundTrip guards the explicit field walk: a Result
+// field added without extending the codec makes the decoded copy differ.
+func TestResultCodecRoundTrip(t *testing.T) {
+	want := realResult(t)
+	got, err := decodeResult(encodeResult(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("round trip changed the result:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+func TestStorePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	want := realResult(t)
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PutResult("job-key", want)
+	s.PutMissTraces("trace-key", [][]trace.MissRecord{
+		{{Block: 10, Seq: 1, Branches: 2, Sequential: false}, {Block: 11, Seq: 5, Branches: 0, Sequential: true}},
+		{{Block: 99, Seq: 3, Branches: 7}},
+	})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, ok := s2.GetResult("job-key")
+	if !ok {
+		t.Fatal("result missing after reopen")
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("reopened result differs:\nwant %+v\ngot  %+v", want, got)
+	}
+	recs, ok := s2.GetMissTraces("trace-key")
+	if !ok {
+		t.Fatal("traces missing after reopen")
+	}
+	if len(recs) != 2 || len(recs[0]) != 2 || recs[0][1].Block != 11 || !recs[0][1].Sequential || recs[1][0].Branches != 7 {
+		t.Fatalf("trace round trip mangled records: %+v", recs)
+	}
+	if _, ok := s2.GetResult("other-key"); ok {
+		t.Fatal("phantom hit for unknown key")
+	}
+	st := s2.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestTruncatedStoreFallsBack cuts the log mid-record: the valid prefix
+// must survive, the damaged record must read as a miss, and the store
+// must keep accepting appends.
+func TestTruncatedStoreFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	res := realResult(t)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PutResult("first", res)
+	endOfFirst := fileSize(t, s.Path())
+	s.PutResult("second", res)
+	s.Close()
+
+	// Chop the second record in half.
+	data, err := os.ReadFile(filepath.Join(dir, fileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := endOfFirst + (int64(len(data))-endOfFirst)/2
+	if err := os.WriteFile(filepath.Join(dir, fileName), data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.GetResult("first"); !ok {
+		t.Error("valid prefix lost after truncation")
+	}
+	if _, ok := s2.GetResult("second"); ok {
+		t.Error("truncated record served as a hit")
+	}
+	// The corrupt tail must have been dropped so appends stay readable.
+	s2.PutResult("third", res)
+	s2.Close()
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	for _, key := range []string{"first", "third"} {
+		if _, ok := s3.GetResult(key); !ok {
+			t.Errorf("%s missing after post-truncation append", key)
+		}
+	}
+}
+
+// TestStaleVersionDiscarded: a store written under another format
+// version must be wiped, not interpreted.
+func TestStaleVersionDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	res := realResult(t)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PutResult("key", res)
+	s.Close()
+
+	path := filepath.Join(dir, fileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(magic)] = FormatVersion + 1 // stamp a future version
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.GetResult("key"); ok {
+		t.Fatal("stale-version entry served as a hit")
+	}
+	if n := s2.Stats().Entries; n != 0 {
+		t.Fatalf("stale store kept %d entries", n)
+	}
+	// The file must have been re-headed at the current version.
+	head, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head[len(magic)] != FormatVersion {
+		t.Fatal("header not rewritten to the current version")
+	}
+}
+
+// TestCorruptPayloadIsAMiss flips a payload bit: the CRC must reject the
+// record (and everything after it) rather than serve damaged numbers.
+func TestCorruptPayloadIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	res := realResult(t)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PutResult("key", res)
+	s.Close()
+
+	path := filepath.Join(dir, fileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-10] ^= 0x40 // inside the payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.GetResult("key"); ok {
+		t.Fatal("corrupt record served as a hit")
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}

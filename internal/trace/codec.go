@@ -197,11 +197,11 @@ func (er *EventReader) Err() error { return er.err }
 
 // MissWriter serializes MissRecords.
 type MissWriter struct {
-	w        *bufio.Writer
-	buf      []byte
-	prevBlk  isa.Block
-	prevSeq  uint64
-	count    uint64
+	w       *bufio.Writer
+	buf     []byte
+	prevBlk isa.Block
+	prevSeq uint64
+	count   uint64
 }
 
 // NewMissWriter starts a miss stream on w.

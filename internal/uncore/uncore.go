@@ -103,6 +103,10 @@ func (k TrafficKind) String() string {
 	}
 }
 
+// NumTrafficKinds returns how many ledger kinds exist (serialization
+// support for the persistent result store).
+func NumTrafficKinds() int { return int(numTrafficKinds) }
+
 // Traffic is the block-transfer ledger.
 type Traffic struct {
 	counts [numTrafficKinds]uint64
@@ -110,6 +114,14 @@ type Traffic struct {
 
 // Count returns the transfers of one kind.
 func (t Traffic) Count(k TrafficKind) uint64 { return t.counts[k] }
+
+// SetCount sets one kind's count (deserialization support; out-of-range
+// kinds from a newer format version are ignored).
+func (t *Traffic) SetCount(k TrafficKind, v uint64) {
+	if k < numTrafficKinds {
+		t.counts[k] = v
+	}
+}
 
 // Sub returns the element-wise difference t - other (used to remove
 // warmup-era traffic from measurements).
@@ -181,6 +193,27 @@ func New(cfg Config) *L2 {
 
 // Config returns the applied configuration.
 func (u *L2) Config() Config { return u.cfg }
+
+// Reset restores the uncore to the state New(cfg) would produce, reusing
+// the cache ways and bank array when the geometry is unchanged so pooled
+// simulation runs do not reallocate the L2.
+func (u *L2) Reset(cfg Config) {
+	cfg = cfg.withDefaults()
+	if u.cache.Config() == cfg.L2 {
+		u.cache.Reset()
+	} else {
+		u.cache = cache.New(cfg.L2)
+	}
+	if len(u.bankFree) == cfg.Banks {
+		clear(u.bankFree)
+	} else {
+		u.bankFree = make([]uint64, cfg.Banks)
+	}
+	u.cfg = cfg
+	u.memFree = 0
+	u.traffic = Traffic{}
+	u.stats = Stats{}
+}
 
 // Traffic returns a copy of the ledger.
 func (u *L2) Traffic() Traffic { return u.traffic }

@@ -267,6 +267,16 @@ func (g *Generated) Sources() []isa.EventSource {
 	return out
 }
 
+// Reset rewinds every executor to its initial seeded state, so the
+// instance replays exactly the event streams a fresh Build would
+// produce. Pooled simulation runs reuse one instance per (spec, scale,
+// cores) instead of rebuilding executors each run.
+func (g *Generated) Reset() {
+	for _, x := range g.Execs {
+		x.Reset()
+	}
+}
+
 // Cores returns the number of cores the instance was built for.
 func (g *Generated) Cores() int { return len(g.Execs) }
 

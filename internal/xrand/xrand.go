@@ -32,6 +32,14 @@ func splitmix64(x *uint64) uint64 {
 // New returns a generator seeded from the given 64-bit seed.
 func New(seed uint64) *Rand {
 	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed re-initializes the generator in place from the given 64-bit seed,
+// exactly as New would. It lets pooled simulator structures restart their
+// random stream without allocating.
+func (r *Rand) Seed(seed uint64) {
 	x := seed
 	for i := range r.s {
 		r.s[i] = splitmix64(&x)
@@ -41,16 +49,23 @@ func New(seed uint64) *Rand {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
 }
 
 // NewFromString returns a generator seeded from the FNV-1a hash of name.
 // Named seeds keep independent subsystems (per-core workloads, trap timing,
 // branch noise) decorrelated while remaining reproducible.
 func NewFromString(name string) *Rand {
+	r := &Rand{}
+	r.SeedFromString(name)
+	return r
+}
+
+// SeedFromString re-initializes the generator in place from the FNV-1a
+// hash of name, exactly as NewFromString would, without allocating.
+func (r *Rand) SeedFromString(name string) {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(name))
-	return New(h.Sum64())
+	r.Seed(h.Sum64())
 }
 
 // Fork derives an independent generator from this one, labeled by name.

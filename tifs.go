@@ -29,6 +29,7 @@ import (
 	"tifs/internal/experiments"
 	"tifs/internal/isa"
 	"tifs/internal/sim"
+	"tifs/internal/store"
 	"tifs/internal/trace"
 	"tifs/internal/workload"
 )
@@ -149,6 +150,16 @@ func Simulate(spec WorkloadSpec, scale Scale, cfg SimConfig) SimResult {
 	return sim.Run(spec, scale, cfg)
 }
 
+// SimRunner is a reusable simulation machine: it recycles the caches,
+// predictors, TIFS structures, and workload executors between runs, so
+// steady-state repeated runs perform zero heap allocations. The returned
+// Result's PerCore and TIFS fields are valid until the next Run call. A
+// SimRunner is not safe for concurrent use.
+type SimRunner = sim.Runner
+
+// NewSimRunner creates an empty simulation machine pool of one.
+func NewSimRunner() *SimRunner { return sim.NewRunner() }
+
 // SimJob pairs a workload and scale with a simulation configuration for
 // batched execution.
 type SimJob = engine.Job
@@ -159,6 +170,29 @@ type SimJob = engine.Job
 // output is identical to running each job serially.
 func SimulateAll(jobs []SimJob, parallelism int) []SimResult {
 	return engine.New(parallelism).RunAll(jobs)
+}
+
+// ResultStore is a persistent, content-addressed cache of simulation
+// results and miss traces, shared across processes. See OpenResultStore.
+type ResultStore = store.Store
+
+// ResultStoreStats summarizes store activity (hits, misses, appends).
+type ResultStoreStats = store.Stats
+
+// OpenResultStore opens (creating if needed) a result store rooted at
+// dir. Attach it to ExperimentOptions.Store or SimulateAllStored to skip
+// already-simulated grid points across CLI invocations. Stores written
+// by an incompatible format version are discarded on open; corrupt or
+// truncated entries fall back to simulation, never to wrong results.
+func OpenResultStore(dir string) (*ResultStore, error) { return store.Open(dir) }
+
+// SimulateAllStored is SimulateAll backed by a persistent result store
+// (nil behaves exactly like SimulateAll). Results are byte-identical
+// with or without the store.
+func SimulateAllStored(jobs []SimJob, parallelism int, st *ResultStore) []SimResult {
+	e := engine.New(parallelism)
+	e.SetStore(st)
+	return e.RunAll(jobs)
 }
 
 // ExperimentOptions scope an experiment run. Parallelism bounds how many

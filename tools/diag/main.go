@@ -30,7 +30,10 @@ func main() {
 	suite := workload.Suite()
 	if len(os.Args) > 3 {
 		s2, ok := workload.ByName(os.Args[3])
-		if !ok { fmt.Fprintln(os.Stderr, "unknown workload"); os.Exit(1) }
+		if !ok {
+			fmt.Fprintln(os.Stderr, "unknown workload")
+			os.Exit(1)
+		}
 		suite = []workload.Spec{s2}
 	}
 	for _, spec := range suite {

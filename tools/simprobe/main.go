@@ -44,7 +44,9 @@ func main() {
 			100*r.Coverage(), hitsT, hitsL, nlLate, misses, 100*r.DiscardFrac(),
 			r.SpeedupOver(base), 100*r.Traffic.OverheadFrac(func() uint64 {
 				var h uint64
-				for _, s := range r.PerCore { h += s.PrefetchHits }
+				for _, s := range r.PerCore {
+					h += s.PrefetchHits
+				}
 				return h
 			}()), el.Seconds())
 	}
