@@ -11,6 +11,19 @@
 // content-addressed store; re-running the same experiments loads them
 // instead of re-simulating, printing byte-identical tables in a fraction
 // of the time. A store summary goes to stderr so stdout stays clean.
+//
+// Sharded sweeps split one experiment grid across processes or machines
+// that share a -cache-dir (for machines: on a shared filesystem):
+//
+//	tifsbench -experiment all -scale full -cache-dir /shared/tifs -shard 0/4   # one worker
+//	tifsbench -experiment all -scale full -cache-dir /shared/tifs -shard auto/4 # self-assigning worker
+//	tifsbench -experiment all -scale full -cache-dir /shared/tifs -merge        # assemble the output
+//	tifsbench -cache-dir /shared/tifs -store-gc                                 # compact afterwards
+//
+// Workers fill the store cooperatively and print no tables; the -merge
+// pass renders output byte-identical to a single-process run from store
+// hits alone. -store-gc folds the per-worker segment files back into one
+// log and reclaims dead bytes.
 package main
 
 import (
@@ -19,6 +32,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"tifs"
@@ -37,6 +51,9 @@ func run() int {
 		cores      = flag.Int("cores", 4, "number of cores")
 		parallel   = flag.Int("parallelism", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 		cacheDir   = flag.String("cache-dir", "", "persistent result store directory (empty = disabled)")
+		shardSpec  = flag.String("shard", "", "run as a sweep worker: 'i/N' (0-based) or 'auto/N'; requires -cache-dir")
+		merge      = flag.Bool("merge", false, "assemble experiment output from the shared store after shard workers finish; requires -cache-dir")
+		storeGC    = flag.Bool("store-gc", false, "compact the -cache-dir store (fold segments, drop dead bytes) and exit")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		list       = flag.Bool("list", false, "list experiments and exit")
@@ -47,6 +64,20 @@ func run() int {
 		for _, e := range tifs.Experiments() {
 			fmt.Printf("%-16s %s\n", e.ID, e.Description)
 		}
+		return 0
+	}
+
+	if *storeGC {
+		if *cacheDir == "" {
+			fmt.Fprintln(os.Stderr, "-store-gc requires -cache-dir")
+			return 2
+		}
+		st, err := tifs.CompactResultStore(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Fprintln(os.Stderr, st)
 		return 0
 	}
 
@@ -84,6 +115,29 @@ func run() int {
 		return 2
 	}
 	o := tifs.ExperimentOptions{Scale: scale, Events: *events, Cores: *cores, Parallelism: *parallel}
+	if *workloads != "" {
+		for _, w := range strings.Split(*workloads, ",") {
+			name := strings.TrimSpace(w)
+			if _, err := tifs.WorkloadByName(name); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			o.Workloads = append(o.Workloads, name)
+		}
+	}
+	// ids selects the sweep grid: nil = the full registry.
+	var ids []string
+	if *experiment != "all" {
+		ids = []string{*experiment}
+	}
+
+	if *shardSpec != "" {
+		return runShardWorker(*shardSpec, *cacheDir, ids, o)
+	}
+	if *merge {
+		return runMerge(*cacheDir, ids, o)
+	}
+
 	if *cacheDir != "" {
 		st, err := tifs.OpenResultStore(*cacheDir)
 		if err != nil {
@@ -96,16 +150,6 @@ func run() int {
 		}()
 		o.Store = st
 	}
-	if *workloads != "" {
-		for _, w := range strings.Split(*workloads, ",") {
-			name := strings.TrimSpace(w)
-			if _, err := tifs.WorkloadByName(name); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				return 2
-			}
-			o.Workloads = append(o.Workloads, name)
-		}
-	}
 
 	if *experiment == "all" {
 		fmt.Print(tifs.RunAllExperiments(o))
@@ -117,5 +161,102 @@ func run() int {
 		return 2
 	}
 	fmt.Print(out)
+	return 0
+}
+
+// runShardWorker executes one sweep worker: shard "i/N" pins a shard,
+// "auto/N" claims shards through the lease manifest until none remain.
+// Workers print per-shard reports to stderr and no tables at all — the
+// -merge pass renders output once every shard is done.
+func runShardWorker(spec, cacheDir string, ids []string, o tifs.ExperimentOptions) int {
+	if cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "-shard requires -cache-dir (the store all workers share)")
+		return 2
+	}
+	sel, countStr, ok := strings.Cut(spec, "/")
+	count, countErr := strconv.Atoi(countStr)
+	if !ok || countErr != nil || count < 1 {
+		fmt.Fprintf(os.Stderr, "bad -shard %q: want 'i/N' (0-based) or 'auto/N'\n", spec)
+		return 2
+	}
+	grid, err := tifs.ExperimentGrid(ids, o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "sweep grid: %d simulations, %d trace extractions across %d shards\n",
+		len(grid.Jobs), len(grid.Traces), count)
+
+	if sel == "auto" {
+		reports, err := tifs.ShardedSweepAuto(cacheDir, count, grid, o)
+		for _, rep := range reports {
+			fmt.Fprintln(os.Stderr, rep)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "worker done: ran %d shard(s)\n", len(reports))
+		return 0
+	}
+	index, err := strconv.Atoi(sel)
+	if err != nil || index < 0 || index >= count {
+		fmt.Fprintf(os.Stderr, "bad -shard %q: index must be in [0,%d)\n", spec, count)
+		return 2
+	}
+	rep, err := tifs.ShardedSweep(cacheDir, index, count, grid, o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, rep)
+	return 0
+}
+
+// runMerge assembles experiment output from the shared store. With full
+// shard coverage every grid point is a store hit and the pass takes
+// seconds; anything a failed worker left missing is re-computed here
+// (correct output either way) and reported so the operator knows.
+func runMerge(cacheDir string, ids []string, o tifs.ExperimentOptions) int {
+	if cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "-merge requires -cache-dir (the store the shard workers filled)")
+		return 2
+	}
+	st, err := tifs.OpenResultStore(cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer func() {
+		fmt.Fprintln(os.Stderr, st.Stats())
+		st.Close()
+	}()
+	// Preflight coverage against the grid itself: the engine's counters
+	// alone would miss a re-run trace extraction.
+	grid, err := tifs.ExperimentGrid(ids, o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	missingJobs, missingTraces := tifs.MissingFromStore(st, grid)
+	e := tifs.NewSimEngine(o.Parallelism, st)
+	o.Engine = e
+
+	if len(ids) == 0 {
+		fmt.Print(tifs.RunAllExperiments(o))
+	} else {
+		out, err := tifs.RunExperiment(ids[0], o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		fmt.Print(out)
+	}
+	if n := len(missingJobs) + len(missingTraces); n > 0 {
+		fmt.Fprintf(os.Stderr, "merge: %d simulations and %d trace extractions were missing from the store and were re-computed (did a shard worker die?)\n",
+			len(missingJobs), len(missingTraces))
+	} else {
+		fmt.Fprintf(os.Stderr, "merge: assembled entirely from the store (%d hits)\n", e.StoreHits())
+	}
 	return 0
 }

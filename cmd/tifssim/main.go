@@ -45,8 +45,23 @@ func main() {
 		cores     = flag.Int("cores", 4, "number of cores")
 		baseline  = flag.Bool("baseline", true, "also run the next-line baseline and report speedup")
 		cacheDir  = flag.String("cache-dir", "", "persistent result store directory (empty = disabled)")
+		storeGC   = flag.Bool("store-gc", false, "compact the -cache-dir store (fold segments, drop dead bytes) and exit")
 	)
 	flag.Parse()
+
+	if *storeGC {
+		if *cacheDir == "" {
+			fmt.Fprintln(os.Stderr, "-store-gc requires -cache-dir")
+			os.Exit(2)
+		}
+		st, err := tifs.CompactResultStore(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, st)
+		os.Exit(0)
+	}
 
 	spec, err := tifs.WorkloadByName(*name)
 	if err != nil {

@@ -24,6 +24,7 @@ package engine
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -43,9 +44,26 @@ type Job struct {
 }
 
 // Key returns the canonical memoization key. Every field of the spec and
-// config is scalar, so the printed form is a complete identity.
+// config is scalar, so the printed form is a complete identity — stable
+// across processes and machines, which is what lets the persistent store
+// and the shard partitioner address work content-wise.
 func (j Job) Key() string {
 	return fmt.Sprintf("%+v|%d|%+v", j.Spec, j.Scale, j.Config)
+}
+
+// TraceJob names one per-core miss-trace extraction: the input of every
+// offline analysis experiment.
+type TraceJob struct {
+	Spec   workload.Spec
+	Scale  workload.Scale
+	Cores  int
+	Events uint64
+}
+
+// Key returns the canonical extraction key, with the same cross-process
+// stability as Job.Key.
+func (t TraceJob) Key() string {
+	return fmt.Sprintf("%+v|%d|%d|%d", t.Spec, t.Scale, t.Cores, t.Events)
 }
 
 // simEntry is one memoized simulation; done is closed when res is valid.
@@ -217,12 +235,36 @@ func copyResult(r sim.Result) sim.Result {
 	return r
 }
 
+// Keys returns the canonical keys of every simulation and trace
+// extraction this engine has been asked for, sorted. Grid-enumeration
+// tests use it to prove a sweep's shard plan covers exactly the work the
+// experiments perform.
+func (e *Engine) Keys() (sims, traces []string) {
+	e.mu.Lock()
+	for k := range e.sims {
+		sims = append(sims, k)
+	}
+	for k := range e.traces {
+		traces = append(traces, k)
+	}
+	e.mu.Unlock()
+	sort.Strings(sims)
+	sort.Strings(traces)
+	return sims, traces
+}
+
+// ExtractTraces is MissTraces keyed by a TraceJob, for callers that
+// enumerate extraction work the same way they enumerate simulations.
+func (e *Engine) ExtractTraces(t TraceJob) [][]trace.MissRecord {
+	return e.MissTraces(t.Spec, t.Scale, t.Cores, t.Events)
+}
+
 // MissTraces returns the per-core filtered L1-I miss traces for a
 // workload build — the input of every offline analysis experiment —
 // extracting each core's trace concurrently and memoizing the whole set.
 // Callers must treat the returned records as read-only; they are shared.
 func (e *Engine) MissTraces(spec workload.Spec, scale workload.Scale, cores int, events uint64) [][]trace.MissRecord {
-	key := fmt.Sprintf("%+v|%d|%d|%d", spec, scale, cores, events)
+	key := TraceJob{Spec: spec, Scale: scale, Cores: cores, Events: events}.Key()
 	e.mu.Lock()
 	if en, ok := e.traces[key]; ok {
 		e.mu.Unlock()

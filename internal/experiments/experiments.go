@@ -106,6 +106,12 @@ func (o Options) analysisEvents() uint64 {
 	return o.Scale.AnalysisEvents()
 }
 
+// traceJob names the per-core miss-trace extraction for one workload
+// under these options.
+func (o Options) traceJob(spec workload.Spec) engine.TraceJob {
+	return engine.TraceJob{Spec: spec, Scale: o.Scale, Cores: o.Cores, Events: o.analysisEvents()}
+}
+
 // missTraces returns the per-core filtered miss traces for a workload;
 // the records are read-only. Within one engine, extraction runs once per
 // (workload, scale, cores, events) and is shared by every analysis
@@ -113,8 +119,37 @@ func (o Options) analysisEvents() uint64 {
 // o.Engine) never re-extract. A nonzero Parallelism with a nil Engine
 // creates a fresh engine per call and forgoes that cross-call sharing.
 func missTraces(spec workload.Spec, o Options) [][]trace.MissRecord {
-	return o.engine().MissTraces(spec, o.Scale, o.Cores, o.analysisEvents())
+	return o.engine().ExtractTraces(o.traceJob(spec))
 }
+
+// analysisTraces enumerates the trace extractions the offline analysis
+// experiments (fig3/5/6/10/11) perform: one per suite workload.
+func analysisTraces(o Options) []engine.TraceJob {
+	var out []engine.TraceJob
+	for _, spec := range o.suite() {
+		out = append(out, o.traceJob(spec))
+	}
+	return out
+}
+
+// fig1Jobs enumerates the Fig. 1 coverage sweep's simulation grid in the
+// exact order Fig1 consumes it: for each workload, the next-line
+// baseline followed by each nonzero coverage point.
+func fig1Jobs(o Options) []engine.Job {
+	var jobs []engine.Job
+	for _, spec := range o.suite() {
+		for _, cov := range fig1Coverages {
+			m := sim.Baseline()
+			if cov > 0 {
+				m = sim.Probabilistic(cov)
+			}
+			jobs = append(jobs, o.job(spec, m))
+		}
+	}
+	return jobs
+}
+
+var fig1Coverages = []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
 
 // Table1 prints the workload suite parameters (the paper's Table I).
 func Table1(o Options) string {
@@ -165,20 +200,10 @@ type Fig1Result struct {
 func Fig1(o Options) (Fig1Result, string) {
 	o = o.withDefaults()
 	res := Fig1Result{Fits: map[string]stats.LinearFit{}}
-	coverages := []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+	coverages := fig1Coverages
 
 	suite := o.suite()
-	var jobs []engine.Job
-	for _, spec := range suite {
-		for _, cov := range coverages {
-			m := sim.Baseline()
-			if cov > 0 {
-				m = sim.Probabilistic(cov)
-			}
-			jobs = append(jobs, o.job(spec, m))
-		}
-	}
-	results := o.engine().RunAll(jobs)
+	results := o.engine().RunAll(fig1Jobs(o))
 
 	headers := []string{"Workload"}
 	for _, c := range coverages {

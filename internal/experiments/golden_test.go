@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tifs/internal/engine"
+	"tifs/internal/shard"
+	"tifs/internal/store"
+	"tifs/internal/workload"
+)
+
+// updateGolden regenerates testdata/golden/*.txt instead of comparing:
+//
+//	go test ./internal/experiments -run TestGolden -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden experiment outputs")
+
+// goldenOptions is the fixed small-scale configuration every golden file
+// is rendered under. The reduced event budget keeps a full golden pass
+// (13 experiments x several execution modes) in CI seconds; any change
+// here invalidates every golden file, so regenerate them together.
+func goldenOptions(parallelism int, e *engine.Engine) Options {
+	return Options{
+		Scale:       workload.ScaleSmall,
+		Events:      4_000,
+		Cores:       4,
+		Parallelism: parallelism,
+		Engine:      e,
+	}
+}
+
+func goldenPath(id string) string {
+	return filepath.Join("testdata", "golden", id+".txt")
+}
+
+// readGolden loads one committed expectation.
+func readGolden(t *testing.T, id string) string {
+	t.Helper()
+	data, err := os.ReadFile(goldenPath(id))
+	if err != nil {
+		t.Fatalf("missing golden output (regenerate with -update-golden): %v", err)
+	}
+	return string(data)
+}
+
+// TestGoldenOutputs holds every experiment to its committed small-scale
+// output, byte for byte, in both serial and 8-way-parallel execution.
+// This is the regression net under the whole sweep machinery: any change
+// to simulator semantics, table rendering, or scheduling that alters a
+// single byte of any experiment fails here.
+func TestGoldenOutputs(t *testing.T) {
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Join("testdata", "golden"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		e := engine.New(0)
+		for _, r := range Registry() {
+			out := r.Run(goldenOptions(0, e))
+			if err := os.WriteFile(goldenPath(r.ID), []byte(out), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Log("golden outputs rewritten")
+		return
+	}
+
+	serialEngine := engine.New(1)
+	parallelEngine := engine.New(8)
+	for _, r := range Registry() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			want := readGolden(t, r.ID)
+			if got := r.Run(goldenOptions(1, serialEngine)); got != want {
+				t.Errorf("serial output diverged from golden:\n--- golden\n%s\n--- got\n%s", want, got)
+			}
+			if got := r.Run(goldenOptions(8, parallelEngine)); got != want {
+				t.Errorf("parallel output diverged from golden:\n--- golden\n%s\n--- got\n%s", want, got)
+			}
+		})
+	}
+}
+
+// TestGoldenShardedMerge runs the golden sweep as 1-, 2-, and 4-shard
+// cooperating workers over a shared store directory, then renders every
+// experiment from store hits alone and holds the merged output to the
+// same golden bytes — the in-process twin of the CLI acceptance flow
+// (tifsbench -shard i/N ... then -merge).
+func TestGoldenShardedMerge(t *testing.T) {
+	if *updateGolden {
+		t.Skip("regenerating goldens")
+	}
+	// The expected "all" output is the goldens assembled in registry
+	// order, exactly as RunAll frames them.
+	var wantAll strings.Builder
+	for _, r := range Registry() {
+		fmt.Fprintf(&wantAll, "== %s: %s\n\n", r.ID, r.Description)
+		wantAll.WriteString(readGolden(t, r.ID))
+		wantAll.WriteString("\n")
+	}
+
+	jobs, traces, err := Grid(nil, goldenOptions(0, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := shard.Grid{Jobs: jobs, Traces: traces}
+
+	for _, count := range []int{1, 2, 4} {
+		count := count
+		t.Run(fmt.Sprintf("%dshards", count), func(t *testing.T) {
+			dir := t.TempDir()
+			var wg sync.WaitGroup
+			errs := make(chan error, count)
+			for w := 0; w < count; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					st, err := store.Open(dir)
+					if err != nil {
+						errs <- err
+						return
+					}
+					defer st.Close()
+					c := shard.NewCoordinator(dir, g, count)
+					c.TTL = time.Hour
+					owner := fmt.Sprintf("golden-worker-%d", w)
+					for {
+						idx, ok, err := c.ClaimAny(owner)
+						if err != nil || !ok {
+							if err != nil {
+								errs <- err
+							}
+							return
+						}
+						if _, err := shard.Run(st, g, idx, count, 2, nil, 0); err != nil {
+							errs <- err
+							return
+						}
+						if err := c.Complete(idx); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+
+			// Merge: a fresh engine over the filled store must render the
+			// golden bytes without one new simulation.
+			st, err := store.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+			e := engine.New(8)
+			e.SetStore(st)
+			got := RunAll(goldenOptions(8, e))
+			if sims := e.SimulationsRun(); sims != 0 {
+				t.Errorf("merge pass re-simulated %d grid points; store coverage incomplete", sims)
+			}
+			if got != wantAll.String() {
+				t.Errorf("%d-shard merged output diverged from goldens:\n--- golden\n%s\n--- got\n%s",
+					count, wantAll.String(), got)
+			}
+		})
+	}
+}

@@ -19,6 +19,17 @@ type Fig12Row struct {
 	TrafficTotal float64 // total added traffic as a fraction of base
 }
 
+// fig12Jobs enumerates Fig. 12's grid: one virtualized-TIFS simulation
+// per suite workload, in suite order.
+func fig12Jobs(o Options) []engine.Job {
+	suite := o.suite()
+	jobs := make([]engine.Job, len(suite))
+	for i, spec := range suite {
+		jobs[i] = o.job(spec, sim.TIFS(core.VirtualizedConfig()))
+	}
+	return jobs
+}
+
 // Fig12 measures TIFS (dedicated sizing, virtualized storage) coverage,
 // discards, and L2 traffic overhead (Section 6.4).
 func Fig12(o Options) ([]Fig12Row, string) {
@@ -27,11 +38,7 @@ func Fig12(o Options) ([]Fig12Row, string) {
 	t := stats.NewTable("Fig. 12. TIFS coverage, discards, and L2 traffic overhead (virtualized IML)",
 		"Workload", "Coverage", "Discards", "IML traffic", "Total overhead")
 	suite := o.suite()
-	jobs := make([]engine.Job, len(suite))
-	for i, spec := range suite {
-		jobs[i] = o.job(spec, sim.TIFS(core.VirtualizedConfig()))
-	}
-	results := o.engine().RunAll(jobs)
+	results := o.engine().RunAll(fig12Jobs(o))
 	for i, spec := range suite {
 		r := results[i]
 		var useful uint64
@@ -88,6 +95,22 @@ func Comparison(o Options, mechs []sim.Mechanism, title string) ([]Fig13Row, str
 	return comparison(o, mechs, title)
 }
 
+// comparisonJobs enumerates a baseline-anchored comparison grid: for
+// each suite workload, the next-line baseline followed by every
+// mechanism under test (stride 1+len(mechs)). Fig13 and the speedup
+// ablations all consume this exact order.
+func comparisonJobs(o Options, mechs []sim.Mechanism) []engine.Job {
+	suite := o.suite()
+	jobs := make([]engine.Job, 0, len(suite)*(1+len(mechs)))
+	for _, spec := range suite {
+		jobs = append(jobs, o.job(spec, sim.Baseline()))
+		for _, m := range mechs {
+			jobs = append(jobs, o.job(spec, m))
+		}
+	}
+	return jobs
+}
+
 func comparison(o Options, mechs []sim.Mechanism, title string) ([]Fig13Row, string) {
 	o = o.withDefaults()
 	headers := []string{"Workload"}
@@ -103,14 +126,7 @@ func comparison(o Options, mechs []sim.Mechanism, title string) ([]Fig13Row, str
 	// that needs it.
 	suite := o.suite()
 	stride := 1 + len(mechs)
-	jobs := make([]engine.Job, 0, len(suite)*stride)
-	for _, spec := range suite {
-		jobs = append(jobs, o.job(spec, sim.Baseline()))
-		for _, m := range mechs {
-			jobs = append(jobs, o.job(spec, m))
-		}
-	}
-	results := o.engine().RunAll(jobs)
+	results := o.engine().RunAll(comparisonJobs(o, mechs))
 
 	for wi, spec := range suite {
 		base := results[wi*stride]
@@ -140,34 +156,34 @@ func comparison(o Options, mechs []sim.Mechanism, title string) ([]Fig13Row, str
 	return rows, t.String()
 }
 
+// svbLookaheads are the SVB ablation's sweep points.
+var svbLookaheads = []int{1, 2, 4, 8}
+
+// svbMechs enumerates the SVB ablation's mechanisms.
+func svbMechs() []sim.Mechanism {
+	var mechs []sim.Mechanism
+	for _, la := range svbLookaheads {
+		cfg := core.DedicatedConfig()
+		cfg.Lookahead = la
+		mechs = append(mechs, sim.TIFS(cfg))
+	}
+	return mechs
+}
+
 // AblationSVB sweeps the SVB rate-matching lookahead (a design knob the
 // paper fixes at 4, Section 5.2.1).
 func AblationSVB(o Options) string {
 	o = o.withDefaults()
-	lookaheads := []int{1, 2, 4, 8}
-	var mechs []sim.Mechanism
-	for _, la := range lookaheads {
-		cfg := core.DedicatedConfig()
-		cfg.Lookahead = la
-		m := sim.TIFS(cfg)
-		mechs = append(mechs, m)
-	}
+	mechs := svbMechs()
 	// Distinct names for the table.
 	headers := []string{"Workload"}
-	for _, la := range lookaheads {
+	for _, la := range svbLookaheads {
 		headers = append(headers, fmt.Sprintf("lookahead=%d", la))
 	}
 	t := stats.NewTable("Ablation: SVB rate-matching lookahead (speedup over next-line)", headers...)
 	suite := o.suite()
 	stride := 1 + len(mechs)
-	jobs := make([]engine.Job, 0, len(suite)*stride)
-	for _, spec := range suite {
-		jobs = append(jobs, o.job(spec, sim.Baseline()))
-		for _, m := range mechs {
-			jobs = append(jobs, o.job(spec, m))
-		}
-	}
-	results := o.engine().RunAll(jobs)
+	results := o.engine().RunAll(comparisonJobs(o, mechs))
 	for wi, spec := range suite {
 		base := results[wi*stride]
 		cells := []string{spec.Name}
@@ -179,24 +195,22 @@ func AblationSVB(o Options) string {
 	return t.String()
 }
 
+// eosMechs enumerates the end-of-stream ablation's pair: detection on
+// (the paper's dedicated configuration) and off.
+func eosMechs() []sim.Mechanism {
+	off := core.DedicatedConfig()
+	off.DisableEndOfStream = true
+	return []sim.Mechanism{sim.TIFS(core.DedicatedConfig()), sim.TIFS(off)}
+}
+
 // AblationEndOfStream compares TIFS with and without end-of-stream
 // detection (Section 5.1.3), reporting speedup and discard fraction.
 func AblationEndOfStream(o Options) string {
 	o = o.withDefaults()
-	on := core.DedicatedConfig()
-	off := core.DedicatedConfig()
-	off.DisableEndOfStream = true
 	t := stats.NewTable("Ablation: end-of-stream detection (speedup | discards)",
 		"Workload", "eos-on", "eos-off", "discards-on", "discards-off")
 	suite := o.suite()
-	jobs := make([]engine.Job, 0, 3*len(suite))
-	for _, spec := range suite {
-		jobs = append(jobs,
-			o.job(spec, sim.Baseline()),
-			o.job(spec, sim.TIFS(on)),
-			o.job(spec, sim.TIFS(off)))
-	}
-	results := o.engine().RunAll(jobs)
+	results := o.engine().RunAll(comparisonJobs(o, eosMechs()))
 	for wi, spec := range suite {
 		base, rOn, rOff := results[3*wi], results[3*wi+1], results[3*wi+2]
 		t.AddRow(spec.Name,
@@ -207,26 +221,35 @@ func AblationEndOfStream(o Options) string {
 	return t.String()
 }
 
+// dropProbs are the index-drop ablation's injection rates.
+var dropProbs = []float64{0, 0.05, 0.2, 0.5}
+
+// dropsJobs enumerates the index-drop ablation's grid in consumption
+// order: each workload crossed with every drop probability.
+func dropsJobs(o Options) []engine.Job {
+	var jobs []engine.Job
+	for _, spec := range o.suite() {
+		for _, p := range dropProbs {
+			cfg := core.VirtualizedConfig()
+			cfg.IndexDropProb = p
+			jobs = append(jobs, o.job(spec, sim.TIFS(cfg)))
+		}
+	}
+	return jobs
+}
+
 // AblationIndexDrops injects IML-pointer-update drops (tag-pipe
 // back-pressure, Section 5.2.2) and reports coverage degradation.
 func AblationIndexDrops(o Options) string {
 	o = o.withDefaults()
-	probs := []float64{0, 0.05, 0.2, 0.5}
+	probs := dropProbs
 	headers := []string{"Workload"}
 	for _, p := range probs {
 		headers = append(headers, fmt.Sprintf("drop=%.0f%%", 100*p))
 	}
 	t := stats.NewTable("Ablation: dropped index updates (TIFS coverage)", headers...)
 	suite := o.suite()
-	jobs := make([]engine.Job, 0, len(suite)*len(probs))
-	for _, spec := range suite {
-		for _, p := range probs {
-			cfg := core.VirtualizedConfig()
-			cfg.IndexDropProb = p
-			jobs = append(jobs, o.job(spec, sim.TIFS(cfg)))
-		}
-	}
-	results := o.engine().RunAll(jobs)
+	results := o.engine().RunAll(dropsJobs(o))
 	for wi, spec := range suite {
 		cells := []string{spec.Name}
 		for pi := range probs {

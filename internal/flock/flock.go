@@ -1,0 +1,32 @@
+// Package flock wraps advisory file locking (flock(2)) for the result
+// store and the shard coordinator. Locks belong to the open file
+// description, so two opens of the same path conflict even within one
+// process — which is exactly what lets goroutine-simulated shard workers
+// in tests exercise the same exclusion real multi-process sweeps rely on.
+//
+// On platforms without flock (Supported == false) the Try functions
+// report every lock as unavailable, which degrades every store writer to
+// its own segment file (safe, just less tidy) and disables compaction
+// entirely — without flock there is no way to prove a segment's writer
+// is gone, so Compact refuses to run rather than risk deleting a live
+// writer's records.
+package flock
+
+import "os"
+
+// Supported reports whether this platform has flock. Callers that need
+// exclusion to be *provable* (compaction) should refuse to proceed when
+// it is false, with an error that says so.
+const Supported = supported
+
+// TryExclusive attempts a non-blocking exclusive lock on f. It returns
+// true if the lock was acquired, false if another open file description
+// holds it (or the platform has no flock support).
+func TryExclusive(f *os.File) (bool, error) { return tryExclusive(f) }
+
+// Exclusive blocks until it holds the exclusive lock on f. On platforms
+// without flock it returns an error.
+func Exclusive(f *os.File) error { return exclusive(f) }
+
+// Unlock releases a lock held on f. Closing f also releases it.
+func Unlock(f *os.File) error { return unlock(f) }

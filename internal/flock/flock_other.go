@@ -1,0 +1,19 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package flock
+
+import (
+	"errors"
+	"os"
+)
+
+const supported = false
+
+// ErrUnsupported reports that this platform has no flock support.
+var ErrUnsupported = errors.New("flock: not supported on this platform")
+
+func tryExclusive(f *os.File) (bool, error) { return false, nil }
+
+func exclusive(f *os.File) error { return ErrUnsupported }
+
+func unlock(f *os.File) error { return nil }

@@ -1,0 +1,37 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package flock
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+const supported = true
+
+func tryExclusive(f *os.File) (bool, error) {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if err == nil {
+		return true, nil
+	}
+	if errors.Is(err, syscall.EWOULDBLOCK) || errors.Is(err, syscall.EAGAIN) {
+		return false, nil
+	}
+	return false, err
+}
+
+func exclusive(f *os.File) error {
+	// Retry on EINTR: a blocking flock parked on a contended lock can be
+	// interrupted by signals the Go runtime uses internally.
+	for {
+		err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX)
+		if !errors.Is(err, syscall.EINTR) {
+			return err
+		}
+	}
+}
+
+func unlock(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

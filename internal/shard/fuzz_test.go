@@ -1,0 +1,63 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzShardManifest throws arbitrary bytes at the manifest/lease parser.
+// The parser coordinates mutually-untrusting workers through a shared
+// file, so it may reject input but must never panic, and anything it
+// accepts must re-encode to a manifest it parses back identically —
+// otherwise two workers could read different assignments from one file.
+func FuzzShardManifest(f *testing.F) {
+	valid := Manifest{
+		GridHash: strings.Repeat("5c", 32),
+		Count:    4,
+		Shards: []Lease{
+			{Index: 0, State: StateDone},
+			{Index: 1, State: StateClaimed, Owner: "host-1234", Expires: 1_753_800_000},
+			{Index: 2, State: StateClaimed, Owner: `quoted "owner" \n`, Expires: 42},
+			{Index: 3, State: StateFree},
+		},
+	}.encode()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated
+	flipped := append([]byte{}, valid...)
+	flipped[len(flipped)/3] ^= 0x08 // bit-flipped
+	f.Add(flipped)
+	f.Add([]byte("TIFSSHARDS 1\n"))
+	f.Add([]byte("TIFSSHARDS 1\ngrid " + strings.Repeat("00", 32) + " count 1\nshard 0 free \"\" 0\n"))
+	f.Add([]byte{})
+	f.Add([]byte("shard 0 free \"\" 0\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := parseManifest(data)
+		if err != nil {
+			return
+		}
+		// Accepted manifests must be internally consistent...
+		if m.Count != len(m.Shards) {
+			t.Fatalf("accepted manifest with %d shards for count %d", len(m.Shards), m.Count)
+		}
+		for i, l := range m.Shards {
+			if l.Index != i {
+				t.Fatalf("accepted manifest with shard %d at position %d", l.Index, i)
+			}
+		}
+		// ...and stable through a re-encode round trip.
+		again, err := parseManifest(m.encode())
+		if err != nil {
+			t.Fatalf("re-encode of accepted manifest rejected: %v", err)
+		}
+		if m.GridHash != again.GridHash || m.Count != again.Count {
+			t.Fatal("manifest round trip changed the header")
+		}
+		for i := range m.Shards {
+			if m.Shards[i] != again.Shards[i] {
+				t.Fatalf("manifest round trip changed shard %d: %+v != %+v",
+					i, m.Shards[i], again.Shards[i])
+			}
+		}
+	})
+}

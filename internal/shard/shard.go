@@ -1,0 +1,96 @@
+// Package shard partitions an experiment sweep across cooperating
+// processes — or machines sharing a filesystem — that fill one result
+// store together.
+//
+// The paper's evaluation is a grid of independent (workload, mechanism,
+// budget) simulations. Each grid point already has a canonical,
+// cross-process-stable key (engine.Job.Key, engine.TraceJob.Key), so the
+// partition is content-addressed: grid point k belongs to shard
+// SHA-256(k) mod N. Every worker derives the identical assignment from
+// the grid alone — no coordinator hands out work item by item, and a
+// worker that dies loses only its shard, which any peer can re-claim
+// after its lease expires (lease.go).
+//
+// A sweep then runs as:
+//
+//  1. N workers run `tifsbench -shard i/N -cache-dir DIR` (or auto/N to
+//     claim shards through the lease file). Each simulates only its
+//     shard's grid points, skipping any a previous run already stored,
+//     and appends results to its own flock-guarded store segment.
+//  2. One merge pass runs `tifsbench -merge -cache-dir DIR`: a normal
+//     experiment run whose every grid point hits the store, assembling
+//     output byte-identical to a single-process run.
+//
+// Determinism is preserved end to end: simulations are pure functions of
+// their key, the store returns exactly the bytes a worker computed, and
+// the merge pass renders tables in submission order — so output is
+// byte-identical at every parallelism and every shard count, the same
+// invariant the engine established in-process.
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"tifs/internal/engine"
+)
+
+// Grid is the complete work list of a sweep: every simulation job and
+// every miss-trace extraction the experiments will request.
+type Grid struct {
+	Jobs   []engine.Job
+	Traces []engine.TraceJob
+}
+
+// Size returns the total number of grid points.
+func (g Grid) Size() int { return len(g.Jobs) + len(g.Traces) }
+
+// Hash fingerprints the grid: the SHA-256 over its sorted canonical
+// keys. Workers of one sweep must agree on it before sharing a lease
+// file — a mismatch means mismatched options (different scale, event
+// budget, workload subset...) that would partition different grids.
+func (g Grid) Hash() string {
+	keys := make([]string, 0, g.Size())
+	for _, j := range g.Jobs {
+		keys = append(keys, "sim|"+j.Key())
+	}
+	for _, t := range g.Traces {
+		keys = append(keys, "trace|"+t.Key())
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// IndexFor maps a canonical grid-point key onto one of count shards,
+// uniformly and deterministically on every machine.
+func IndexFor(key string, count int) int {
+	if count <= 1 {
+		return 0
+	}
+	sum := sha256.Sum256([]byte(key))
+	return int(binary.BigEndian.Uint64(sum[:8]) % uint64(count))
+}
+
+// Shard returns the subset of the grid owned by shard index of count,
+// preserving enumeration order within the subset.
+func (g Grid) Shard(index, count int) Grid {
+	var out Grid
+	for _, j := range g.Jobs {
+		if IndexFor(j.Key(), count) == index {
+			out.Jobs = append(out.Jobs, j)
+		}
+	}
+	for _, t := range g.Traces {
+		if IndexFor(t.Key(), count) == index {
+			out.Traces = append(out.Traces, t)
+		}
+	}
+	return out
+}

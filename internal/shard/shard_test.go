@@ -1,0 +1,106 @@
+package shard
+
+import (
+	"testing"
+
+	"tifs/internal/core"
+	"tifs/internal/engine"
+	"tifs/internal/sim"
+	"tifs/internal/workload"
+)
+
+// testGrid builds a small but real sweep grid: two workloads crossed
+// with a few mechanisms, plus one trace extraction per workload.
+func testGrid(t testing.TB, events uint64) Grid {
+	t.Helper()
+	var g Grid
+	for _, name := range []string{"OLTP-DB2", "Web-Zeus"} {
+		spec, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("workload %q missing", name)
+		}
+		for _, m := range []sim.Mechanism{
+			sim.Baseline(),
+			sim.FDIP(),
+			sim.TIFS(core.DedicatedConfig()),
+			sim.TIFS(core.VirtualizedConfig()),
+			sim.Perfect(),
+		} {
+			g.Jobs = append(g.Jobs, engine.Job{
+				Spec:  spec,
+				Scale: workload.ScaleSmall,
+				Config: sim.Config{
+					EventsPerCore: events,
+					Mechanism:     m,
+				},
+			})
+		}
+		g.Traces = append(g.Traces, engine.TraceJob{
+			Spec: spec, Scale: workload.ScaleSmall, Cores: 2, Events: events,
+		})
+	}
+	return g
+}
+
+// TestPartitionIsDeterministicAndComplete: shards are a disjoint,
+// exhaustive, order-independent cover of the grid.
+func TestPartitionIsDeterministicAndComplete(t *testing.T) {
+	g := testGrid(t, 4_000)
+	for _, count := range []int{1, 2, 4, 7} {
+		seen := map[string]int{}
+		total := 0
+		for i := 0; i < count; i++ {
+			sub := g.Shard(i, count)
+			total += sub.Size()
+			for _, j := range sub.Jobs {
+				seen[j.Key()]++
+				if got := IndexFor(j.Key(), count); got != i {
+					t.Errorf("count=%d: job in shard %d hashes to %d", count, i, got)
+				}
+			}
+			for _, tr := range sub.Traces {
+				seen[tr.Key()]++
+			}
+		}
+		if total != g.Size() {
+			t.Errorf("count=%d: shards cover %d of %d grid points", count, total, g.Size())
+		}
+		for key, n := range seen {
+			if n != 1 {
+				t.Errorf("count=%d: grid point in %d shards: %s", count, n, key)
+			}
+		}
+	}
+	// The assignment is a pure function of the key: recomputing yields
+	// the same partition.
+	a, b := g.Shard(1, 4), g.Shard(1, 4)
+	if len(a.Jobs) != len(b.Jobs) || len(a.Traces) != len(b.Traces) {
+		t.Error("repartition changed shard contents")
+	}
+}
+
+// TestGridHashDetectsDivergence: two workers with different options
+// (here: different event budgets) must not agree on a grid hash.
+func TestGridHashDetectsDivergence(t *testing.T) {
+	a, b := testGrid(t, 4_000), testGrid(t, 5_000)
+	if a.Hash() == b.Hash() {
+		t.Error("different grids share a hash")
+	}
+	if a.Hash() != testGrid(t, 4_000).Hash() {
+		t.Error("identical grids hash differently")
+	}
+	if len(a.Hash()) != 64 {
+		t.Errorf("hash length %d, want 64 hex chars", len(a.Hash()))
+	}
+}
+
+// TestRunValidatesShardSpec: out-of-range shard coordinates must fail
+// before any work runs.
+func TestRunValidatesShardSpec(t *testing.T) {
+	g := testGrid(t, 1_000)
+	for _, bad := range [][2]int{{-1, 4}, {4, 4}, {0, 0}} {
+		if _, err := Run(nil, g, bad[0], bad[1], 1, nil, 0); err == nil {
+			t.Errorf("shard %d/%d accepted", bad[0], bad[1])
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tifs/internal/engine"
+	"tifs/internal/store"
+)
+
+// Report summarizes one worker's pass over one shard.
+type Report struct {
+	// Index and Count locate the shard in the sweep.
+	Index, Count int
+	// Jobs and Traces count the grid points assigned to this shard.
+	Jobs, Traces int
+	// Simulated counts simulations actually executed; StoreHits counts
+	// grid points skipped because a previous run (this worker's or a
+	// peer's) had already stored them.
+	Simulated, StoreHits uint64
+}
+
+// String renders a one-line summary.
+func (r Report) String() string {
+	return fmt.Sprintf("shard %d/%d: jobs=%d traces=%d simulated=%d store-hits=%d",
+		r.Index, r.Count, r.Jobs, r.Traces, r.Simulated, r.StoreHits)
+}
+
+// chunkPerWorker bounds how many jobs enter the engine per batch (times
+// the parallelism), so the loop has regular points at which to notice a
+// lost lease and stop.
+const chunkPerWorker = 8
+
+// renewer keeps a lease alive on a timer while a shard runs. Renewal
+// must be time-based, not progress-based: one full-scale simulation can
+// outlast the whole TTL, and a healthy worker must never look dead just
+// because its grid points are slow.
+type renewer struct {
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu  sync.Mutex
+	err error
+}
+
+// maxRenewFailures is how many consecutive transient renewal failures a
+// worker rides out before giving the shard up. At the TTL/3 cadence,
+// three misses means the lease deadline has effectively passed anyway.
+const maxRenewFailures = 3
+
+// startRenewer renews on every interval tick until stopped. A takeover
+// (ErrLeaseLost) is latched immediately; transient failures (manifest
+// I/O on a flaky shared filesystem) are retried up to maxRenewFailures
+// consecutive ticks, honoring the TTL/3 cadence's design that a couple
+// of renewals may fail before the lease actually lapses. The latched
+// error is not fatal mid-air: the work loop checks Err at its next
+// boundary and aborts.
+func startRenewer(renew func() error, interval time.Duration) *renewer {
+	r := &renewer{stop: make(chan struct{})}
+	if renew == nil {
+		return r
+	}
+	if interval <= 0 {
+		interval = DefaultTTL / 3
+	}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		failures := 0
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-t.C:
+				err := renew()
+				if err == nil {
+					failures = 0
+					continue
+				}
+				failures++
+				if !errors.Is(err, ErrLeaseLost) && failures < maxRenewFailures {
+					continue
+				}
+				r.mu.Lock()
+				if r.err == nil {
+					if errors.Is(err, ErrLeaseLost) {
+						r.err = fmt.Errorf("shard: lease lost: %w", err)
+					} else {
+						r.err = fmt.Errorf("shard: lease renewal failing (%d consecutive errors): %w", failures, err)
+					}
+				}
+				r.mu.Unlock()
+				return
+			}
+		}
+	}()
+	return r
+}
+
+func (r *renewer) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+func (r *renewer) Stop() {
+	close(r.stop)
+	r.wg.Wait()
+}
+
+// Run executes shard index of count over the grid, filling st with every
+// result and miss trace the shard owns. Grid points already in the store
+// are skipped (another worker, or an earlier attempt, finished them);
+// simulations the shard does run go through a standard engine at the
+// given parallelism, so in-process memoization and the persistent tier
+// compose exactly as they do in a single-process run.
+//
+// renew, if non-nil, is called on a timer (renewInterval; pick a
+// fraction of the lease TTL, e.g. Coordinator.RenewInterval) for as long
+// as work runs — wire it to Coordinator.Renew to keep the shard's lease
+// alive. When renewal reports the lease lost (a peer took the shard
+// over after an expiry), Run stops at the next batch boundary and
+// returns the error; everything finished so far is already safe in the
+// store.
+func Run(st *store.Store, g Grid, index, count, parallelism int, renew func() error, renewInterval time.Duration) (rep Report, err error) {
+	if count < 1 {
+		return Report{}, fmt.Errorf("shard: count %d < 1", count)
+	}
+	if index < 0 || index >= count {
+		return Report{}, fmt.Errorf("shard: index %d out of range [0,%d)", index, count)
+	}
+	sub := g.Shard(index, count)
+	rep = Report{Index: index, Count: count, Jobs: len(sub.Jobs), Traces: len(sub.Traces)}
+
+	e := engine.New(parallelism)
+	e.SetStore(st)
+	r := startRenewer(renew, renewInterval)
+	defer r.Stop()
+	// Fill the counters on every exit path (rep is a named result, so
+	// this reaches aborted returns too): an aborted shard has still done
+	// — and durably stored — real work, and its report must say so.
+	defer func() {
+		rep.Simulated = e.SimulationsRun()
+		rep.StoreHits = e.StoreHits()
+	}()
+
+	// Fan bounded chunks of jobs through the engine so a lost lease is
+	// noticed promptly. The engine's store tier makes every
+	// already-stored point a cheap hit, so re-running a half-finished
+	// shard only pays for what is missing.
+	chunk := e.Parallelism() * chunkPerWorker
+	for start := 0; start < len(sub.Jobs); start += chunk {
+		if err := r.Err(); err != nil {
+			return rep, err
+		}
+		end := min(start+chunk, len(sub.Jobs))
+		e.RunAll(sub.Jobs[start:end])
+	}
+	for _, t := range sub.Traces {
+		if err := r.Err(); err != nil {
+			return rep, err
+		}
+		e.ExtractTraces(t)
+	}
+	return rep, r.Err()
+}
+
+// Missing reports which of the grid's points are absent from the store —
+// the merge pass's preflight check. An empty result means a merge will
+// assemble entirely from store hits.
+func Missing(st *store.Store, g Grid) (jobs []engine.Job, traces []engine.TraceJob) {
+	for _, j := range g.Jobs {
+		if !st.HasResult(j.Key()) {
+			jobs = append(jobs, j)
+		}
+	}
+	for _, t := range g.Traces {
+		if !st.HasMissTraces(t.Key()) {
+			traces = append(traces, t)
+		}
+	}
+	return jobs, traces
+}

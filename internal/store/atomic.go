@@ -1,0 +1,41 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// AtomicWriteFile durably replaces path with data: the bytes are written
+// to a sibling temp file (path + ".tmp"), fsynced, renamed into place,
+// and the directory is fsynced so the replacement survives a crash. A
+// failure at any step leaves either the old file or the new one, never a
+// torn mix. Used for the compacted primary log and the shard lease
+// manifest, which share the same crash-safety needs.
+func AtomicWriteFile(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("atomic write %s: %w", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("atomic write %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("atomic write %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomic write %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomic write %s: %w", path, err)
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}

@@ -1,0 +1,215 @@
+package store
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"tifs/internal/flock"
+)
+
+// CompactStats reports what a compaction pass did.
+type CompactStats struct {
+	// Live is how many records the compacted primary holds.
+	Live int
+	// SegmentsMerged counts segment files folded into the primary and
+	// deleted; SegmentsSkipped counts segments left alone because a live
+	// writer holds their lock.
+	SegmentsMerged, SegmentsSkipped int
+	// StaleDropped counts files (or the primary's content) written under
+	// another FormatVersion whose bytes were reclaimed.
+	StaleDropped int
+	// BytesBefore and BytesAfter measure the store directory's log files
+	// before and after the pass.
+	BytesBefore, BytesAfter int64
+}
+
+// String renders a one-line summary.
+func (c CompactStats) String() string {
+	return fmt.Sprintf("store gc: live=%d merged=%d skipped=%d stale=%d bytes %d -> %d",
+		c.Live, c.SegmentsMerged, c.SegmentsSkipped, c.StaleDropped,
+		c.BytesBefore, c.BytesAfter)
+}
+
+// Compact folds every live record in dir — the primary log plus all
+// quiescent segments — into a freshly written primary, then deletes the
+// merged segments, stale-version files, and leftover temporaries.
+// Reclaimed space comes from shadowed duplicate records, torn tails, and
+// files written under older FormatVersions.
+//
+// Safety: the new primary is built in a scratch file and atomically
+// renamed into place, so a crash at any point leaves a store that opens
+// cleanly — at worst with the duplicates still present (crash before the
+// segment deletes) or with the old layout (crash before the rename).
+// Compact refuses to run while another writer holds the primary lock,
+// and skips (never deletes) segments whose writers are still alive.
+func Compact(dir string) (CompactStats, error) {
+	var st CompactStats
+	if !flock.Supported {
+		// Without flock there is no way to prove a segment's writer is
+		// gone; deleting one under a live writer would lose its records.
+		return st, fmt.Errorf("store gc: this platform has no flock support, so writer liveness cannot be verified; compaction is unavailable")
+	}
+	primaryPath := filepath.Join(dir, fileName)
+	pf, err := os.OpenFile(primaryPath, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return st, fmt.Errorf("store gc: %w", err)
+	}
+	defer pf.Close()
+	locked, err := flock.TryExclusive(pf)
+	if err != nil {
+		return st, fmt.Errorf("store gc: lock %s: %w", primaryPath, err)
+	}
+	if !locked {
+		return st, fmt.Errorf("store gc: %s has a live writer; retry after it closes", primaryPath)
+	}
+
+	// A leftover scratch file from a killed compaction is garbage by
+	// definition (the rename never happened); clear it first.
+	tmpPath := filepath.Join(dir, compactTmp)
+	os.Remove(tmpPath)
+
+	st.BytesBefore += fileSizeOf(primaryPath)
+
+	// Collect every live record: primary first, then segments in name
+	// order, later records shadowing earlier ones (same rule as Open).
+	entries := map[[sha256.Size]byte][]byte{}
+	var order [][sha256.Size]byte // first-seen order, for a deterministic file
+	merge := func(data []byte) (ok bool) {
+		recs, _, ok := scanLog(data)
+		if !ok {
+			return false
+		}
+		for _, r := range recs {
+			if _, seen := entries[r.key]; !seen {
+				order = append(order, r.key)
+			}
+			entries[r.key] = r.payload
+		}
+		return true
+	}
+
+	primaryData, err := os.ReadFile(primaryPath)
+	if err != nil {
+		return st, fmt.Errorf("store gc: %w", err)
+	}
+	if len(primaryData) > 0 && !merge(primaryData) {
+		st.StaleDropped++ // foreign or stale primary content: rewritten below
+	}
+
+	segPaths, err := filepath.Glob(filepath.Join(dir, segPattern))
+	if err != nil {
+		return st, fmt.Errorf("store gc: %w", err)
+	}
+	sort.Strings(segPaths)
+	// toDelete pairs each merged path with the locked fd whose content
+	// was folded in, so the delete below can prove it is unlinking that
+	// exact file and not a namesake.
+	type mergedSeg struct {
+		path string
+		f    *os.File
+	}
+	var toDelete []mergedSeg
+	for _, p := range segPaths {
+		st.BytesBefore += fileSizeOf(p)
+		sf, err := os.OpenFile(p, os.O_RDWR, 0o644)
+		if err != nil {
+			continue // vanished or unreadable: nothing to merge
+		}
+		segLocked, err := flock.TryExclusive(sf)
+		if err != nil || !segLocked {
+			// A live writer owns this segment (or the platform cannot
+			// tell): leave it for a later pass.
+			sf.Close()
+			st.SegmentsSkipped++
+			continue
+		}
+		// Read through the locked fd, not the path: the name could have
+		// been removed (empty-segment cleanup) and recreated by a new
+		// writer since the glob.
+		data, err := readAll(sf)
+		if err != nil {
+			sf.Close()
+			continue
+		}
+		if merge(data) {
+			st.SegmentsMerged++
+		} else {
+			st.StaleDropped++
+		}
+		// Keep the fd (and its lock) open until after the delete below.
+		defer sf.Close()
+		toDelete = append(toDelete, mergedSeg{path: p, f: sf})
+	}
+
+	// Build the replacement primary and swing it into place.
+	out := header()
+	for _, key := range order {
+		out = appendRecord(out, key, entries[key])
+	}
+	st.Live = len(order)
+	if err := AtomicWriteFile(primaryPath, out); err != nil {
+		return st, fmt.Errorf("store gc: %w", err)
+	}
+
+	// Only now that the records are durably in the primary may the
+	// segments go. A crash between rename and these deletes leaves
+	// harmless duplicates for the next pass. Each delete first proves the
+	// name still refers to the inode we merged: if the original writer's
+	// empty-segment cleanup removed the name and a new writer reclaimed
+	// it, unlinking by name would destroy the newcomer's live records.
+	for _, seg := range toDelete {
+		merged, err := seg.f.Stat()
+		if err != nil {
+			continue
+		}
+		onDisk, err := os.Stat(seg.path)
+		if err != nil || !os.SameFile(merged, onDisk) {
+			continue // the name was reused; its new content was not merged
+		}
+		os.Remove(seg.path)
+	}
+	syncDir(dir)
+	st.BytesAfter = fileSizeOf(primaryPath)
+	for _, p := range segPaths {
+		if fi, err := os.Stat(p); err == nil {
+			st.BytesAfter += fi.Size()
+		}
+	}
+	return st, nil
+}
+
+// readAll reads a file's full content through an already-open fd.
+func readAll(f *os.File) ([]byte, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, fi.Size())
+	n, err := f.ReadAt(buf, 0)
+	if err != nil && n != len(buf) {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+func fileSizeOf(path string) int64 {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
+// syncDir best-effort fsyncs a directory so renames and deletes are
+// durable before we report success.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

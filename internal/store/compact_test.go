@@ -1,0 +1,251 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fillSharded writes records through several concurrent openers so the
+// directory holds a primary plus segment files, and returns every key
+// written.
+func fillSharded(t *testing.T, dir string, writers, perWriter int) []string {
+	t.Helper()
+	res := realResult(t)
+	var keys []string
+	stores := make([]*Store, writers)
+	for w := range stores {
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[w] = s
+	}
+	for w, s := range stores {
+		for i := 0; i < perWriter; i++ {
+			key := fmt.Sprintf("w%d-k%d", w, i)
+			s.PutResult(key, res)
+			keys = append(keys, key)
+		}
+	}
+	for _, s := range stores {
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return keys
+}
+
+func segmentFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, segPattern))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return paths
+}
+
+func requireKeys(t *testing.T, dir string, keys []string) {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, key := range keys {
+		if _, ok := s.GetResult(key); !ok {
+			t.Errorf("record %s lost", key)
+		}
+	}
+}
+
+// TestCompactPreservesLiveRecords folds a primary plus two segments into
+// one file and re-reads every key.
+func TestCompactPreservesLiveRecords(t *testing.T) {
+	dir := t.TempDir()
+	keys := fillSharded(t, dir, 3, 4) // primary + 2 segments
+
+	if got := len(segmentFiles(t, dir)); got != 2 {
+		t.Fatalf("setup made %d segments, want 2", got)
+	}
+	st, err := Compact(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SegmentsMerged != 2 || st.SegmentsSkipped != 0 {
+		t.Errorf("stats = %+v, want 2 merged / 0 skipped", st)
+	}
+	if st.Live != len(keys) {
+		t.Errorf("live = %d, want %d", st.Live, len(keys))
+	}
+	if got := len(segmentFiles(t, dir)); got != 0 {
+		t.Errorf("%d segment files survive compaction", got)
+	}
+	requireKeys(t, dir, keys)
+}
+
+// TestCompactReclaimsStaleAndDuplicates: duplicate records shadowed
+// across files and whole stale-FormatVersion files are space compaction
+// must give back.
+func TestCompactReclaimsStaleAndDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	res := realResult(t)
+
+	// A primary with one live record.
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PutResult("live", res)
+	s.Close()
+
+	// A duplicate of the primary's content posing as a segment (the
+	// "crash between rename and segment deletion" aftermath).
+	primary, err := os.ReadFile(filepath.Join(dir, fileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dupSeg := filepath.Join(dir, "seg-00007.tifs")
+	if err := os.WriteFile(dupSeg, primary, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A whole segment written under a future format version: dead weight.
+	stale := append([]byte{}, primary...)
+	stale[len(magic)] = FormatVersion + 1
+	staleSeg := filepath.Join(dir, "seg-00008.tifs")
+	if err := os.WriteFile(staleSeg, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The duplicates and stale bytes are invisible to readers...
+	pre, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := pre.Stats().Entries; n != 1 {
+		t.Fatalf("pre-compaction store has %d entries, want 1", n)
+	}
+	pre.Close()
+
+	// ...and compaction reclaims their space.
+	st, err := Compact(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Live != 1 {
+		t.Errorf("live = %d, want 1", st.Live)
+	}
+	if st.StaleDropped != 1 {
+		t.Errorf("stale = %d, want 1", st.StaleDropped)
+	}
+	if st.BytesAfter >= st.BytesBefore {
+		t.Errorf("compaction reclaimed nothing: %d -> %d bytes", st.BytesBefore, st.BytesAfter)
+	}
+	for _, p := range []string{dupSeg, staleSeg} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("%s survives compaction", filepath.Base(p))
+		}
+	}
+	requireKeys(t, dir, []string{"live"})
+}
+
+// TestCompactCrashSafety covers the two kill windows: a leftover scratch
+// file (killed before the rename) must be invisible to Open and cleaned
+// by the next pass, and a torn segment tail (killed writer) must degrade
+// to its valid prefix.
+func TestCompactCrashSafety(t *testing.T) {
+	dir := t.TempDir()
+	keys := fillSharded(t, dir, 2, 3)
+
+	// Killed mid-build: a partial scratch file full of garbage.
+	tmp := filepath.Join(dir, compactTmp)
+	if err := os.WriteFile(tmp, []byte("TIFSTORE\x01garbage-partial-write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	requireKeys(t, dir, keys) // Open ignores the scratch file
+
+	// Killed segment writer: chop the segment's last record in half.
+	segs := segmentFiles(t, dir)
+	if len(segs) != 1 {
+		t.Fatalf("setup made %d segments, want 1", len(segs))
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(segs[0], data[:len(data)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The torn record (w1-k2, the segment's last append) reads as a miss;
+	// everything else survives.
+	intact := keys[:len(keys)-1]
+	requireKeys(t, dir, intact)
+
+	st, err := Compact(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SegmentsMerged != 1 {
+		t.Errorf("stats = %+v, want 1 merged", st)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Error("leftover scratch file survives compaction")
+	}
+	requireKeys(t, dir, intact)
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, ok := s.GetResult(keys[len(keys)-1]); ok {
+		t.Error("torn record resurrected with wrong bytes")
+	}
+}
+
+// TestCompactRespectsLiveWriters: compaction must refuse to rewrite a
+// primary under a live writer and must skip (not delete) segments whose
+// writers are still open.
+func TestCompactRespectsLiveWriters(t *testing.T) {
+	dir := t.TempDir()
+	res := realResult(t)
+
+	s1, err := Open(dir) // primary writer
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.PutResult("p", res)
+	if _, err := Compact(dir); err == nil || !strings.Contains(err.Error(), "live writer") {
+		t.Fatalf("compaction ran under a live primary writer (err=%v)", err)
+	}
+
+	s2, err := Open(dir) // segment writer
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.PutResult("s", res)
+	s1.Close() // primary now free; s2's segment still live
+
+	st, err := Compact(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SegmentsSkipped != 1 || st.SegmentsMerged != 0 {
+		t.Errorf("stats = %+v, want 1 skipped / 0 merged", st)
+	}
+	if _, err := os.Stat(s2.WritePath()); err != nil {
+		t.Fatalf("live segment deleted: %v", err)
+	}
+	s2.Close()
+
+	st, err = Compact(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SegmentsMerged != 1 {
+		t.Errorf("second pass stats = %+v, want 1 merged", st)
+	}
+	requireKeys(t, dir, []string{"p", "s"})
+}

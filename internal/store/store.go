@@ -1,36 +1,64 @@
 // Package store is a persistent, content-addressed cache of simulation
 // outputs. The experiment engine memoizes within a process; the store
-// extends that memo across processes, so repeated CLI invocations and
-// resumed full-scale sweeps skip every grid point they have already
-// simulated.
+// extends that memo across processes — and, through a shared filesystem,
+// across machines — so repeated CLI invocations and sharded full-scale
+// sweeps skip every grid point anyone has already simulated.
 //
 // Entries are addressed by the SHA-256 of a canonical description of the
 // work — for simulation results the engine job key, which spells out the
 // complete (workload spec, scale, mechanism, simulator config) identity;
-// for miss traces the extraction key. The on-disk layout is a single
-// append-only log: a magic+version header followed by self-delimiting
-// records (key hash, varint-length payload, CRC), in the varint codec
-// style of internal/trace. Appending never rewrites earlier records, so
-// interrupted runs keep everything they finished.
+// for miss traces the extraction key. The on-disk layout is a directory
+// of append-only log files sharing one format: a magic+version header
+// followed by self-delimiting records (key hash, varint-length payload,
+// CRC), in the varint codec style of internal/trace. Appending never
+// rewrites earlier records, so interrupted runs keep everything they
+// finished.
+//
+// # Locking model
+//
+// Every log file has at most one writer, enforced with flock(2):
+//
+//   - The first opener of a directory takes the exclusive lock on the
+//     primary log (results.tifs) and appends there — the single-process
+//     fast path.
+//   - Any concurrent opener (another process on a shared filesystem, or
+//     another Store in this process) finds the primary locked and claims
+//     a fresh per-writer segment (seg-NNNNN.tifs, created O_EXCL) for its
+//     own appends instead. Interleaved appends to a shared file can never
+//     happen.
+//   - Readers need no lock: they load the valid prefix of the primary and
+//     of every segment present at Open. Records are immutable once
+//     written, so a concurrently-growing file simply yields a shorter
+//     valid prefix.
+//
+// Segments accumulate records from sharded or crashed runs until
+// Compact folds every live record back into the primary and deletes
+// them; see compact.go.
 //
 // The store is defensive in exactly one direction: any mismatch —
 // truncated tail, bad CRC, undecodable payload, stale format version —
 // degrades to a cache miss and the caller re-simulates. A bumped
-// FormatVersion discards the whole file on open. Results can be stale
-// only if the simulator's semantics change without a version bump; bump
-// FormatVersion in the same change that alters any simulated number.
+// FormatVersion discards stale files on open (the primary is re-headed
+// by its lock holder; stale segments are ignored and reclaimed by
+// Compact). Results can be stale only if the simulator's semantics
+// change without a version bump; bump FormatVersion in the same change
+// that alters any simulated number.
 package store
 
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 
+	"tifs/internal/flock"
 	"tifs/internal/sim"
 	"tifs/internal/trace"
 )
@@ -40,10 +68,27 @@ import (
 // changes; stores written under other versions are discarded on open.
 const FormatVersion = 1
 
-// fileName is the log file inside the cache directory.
+// fileName is the primary log file inside the cache directory.
 const fileName = "results.tifs"
 
-var magic = []byte("TIFSTORE")
+// segPattern matches per-writer segment logs. Segment numbering is
+// claimed with O_EXCL, so every concurrent writer gets its own file.
+const segPattern = "seg-*.tifs"
+
+// compactTmp is the scratch file compaction builds before atomically
+// renaming it over the primary. Open ignores it (it matches neither the
+// primary name nor segPattern), so a crash mid-compaction leaves the
+// store fully intact.
+const compactTmp = "results.tifs.tmp"
+
+// magicStr is the single source of the file magic; magic and headerLen
+// derive from it so they can never drift apart.
+const magicStr = "TIFSTORE"
+
+var magic = []byte(magicStr)
+
+// headerLen is len(magic) plus the version byte.
+const headerLen = len(magicStr) + 1
 
 // Record kinds (part of the content address).
 const (
@@ -59,22 +104,36 @@ type Stats struct {
 	Puts uint64
 	// Entries is the number of records currently addressable.
 	Entries int
+	// Segments is how many per-writer segment files were present at
+	// Open (not counting the primary).
+	Segments int
+	// Primary reports whether this Store holds the primary log's write
+	// lock; false means appends go to an owned segment file.
+	Primary bool
 }
 
 // String renders a one-line summary.
 func (s Stats) String() string {
-	return fmt.Sprintf("store: hits=%d misses=%d puts=%d entries=%d",
+	out := fmt.Sprintf("store: hits=%d misses=%d puts=%d entries=%d",
 		s.Hits, s.Misses, s.Puts, s.Entries)
+	if !s.Primary {
+		out += fmt.Sprintf(" (segment writer, %d segments)", s.Segments)
+	}
+	return out
 }
 
 // Store is a persistent result cache. It is safe for concurrent use
-// within one process; concurrent writers from separate processes are not
-// coordinated (last append wins, readers see a valid prefix).
+// within one process, and any number of Stores — in this process or
+// others — may share one directory: each writes its own flock-guarded
+// log file and reads everything present at Open.
 type Store struct {
-	mu      sync.Mutex
-	f       *os.File
-	path    string
-	entries map[[sha256.Size]byte][]byte
+	mu        sync.Mutex
+	f         *os.File // owned write log (primary or segment)
+	path      string   // primary log path
+	writePath string   // path of f
+	primary   bool     // f is the primary log
+	segments  int      // segment files seen at Open
+	entries   map[[sha256.Size]byte][]byte
 	// writeFailed latches after a failed or short append. Later appends
 	// would land after the torn bytes and be discarded wholesale by the
 	// next load's truncation, so once a write fails the log is frozen:
@@ -86,9 +145,10 @@ type Store struct {
 }
 
 // Open opens (creating if needed) the store in dir. A file written by a
-// different FormatVersion, or with a corrupt tail, is truncated back to
-// its valid prefix — stale or damaged state can only cause cache misses,
-// never wrong results.
+// different FormatVersion, or with a corrupt tail, contributes nothing —
+// stale or damaged state can only cause cache misses, never wrong
+// results. The first opener becomes the primary writer; concurrent
+// openers append to private segment files (see the package comment).
 func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -98,16 +158,51 @@ func Open(dir string) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{f: f, path: path, entries: map[[sha256.Size]byte][]byte{}}
-	if err := s.load(); err != nil {
+	s := &Store{path: path, entries: map[[sha256.Size]byte][]byte{}}
+	locked, err := flock.TryExclusive(f)
+	if err != nil {
 		f.Close()
+		return nil, fmt.Errorf("store: lock %s: %w", path, err)
+	}
+	if locked {
+		// Primary writer: repair the log in place (truncate a corrupt
+		// tail, re-head a stale or foreign file) and append to it.
+		s.f, s.writePath, s.primary = f, path, true
+		if err := s.loadPrimary(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else {
+		// Someone else is writing the primary. Read its valid prefix and
+		// claim a private segment for our own appends. Never truncate or
+		// re-head a file another writer owns.
+		data, err := os.ReadFile(path)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		if recs, _, ok := scanLog(data); ok {
+			for _, r := range recs {
+				s.entries[r.key] = r.payload
+			}
+		}
+		if err := s.claimSegment(dir); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.loadSegments(dir); err != nil {
+		s.f.Close()
 		return nil, err
 	}
 	return s, nil
 }
 
-// Path returns the log file location.
+// Path returns the primary log file location.
 func (s *Store) Path() string { return s.path }
+
+// WritePath returns the log file this Store appends to — the primary
+// when this Store holds its lock, otherwise an owned segment.
+func (s *Store) WritePath() string { return s.writePath }
 
 // Stats returns current counters.
 func (s *Store) Stats() Stats {
@@ -115,48 +210,56 @@ func (s *Store) Stats() Stats {
 	n := len(s.entries)
 	s.mu.Unlock()
 	return Stats{
-		Hits:    s.hits.Load(),
-		Misses:  s.misses.Load(),
-		Puts:    s.puts.Load(),
-		Entries: n,
+		Hits:     s.hits.Load(),
+		Misses:   s.misses.Load(),
+		Puts:     s.puts.Load(),
+		Entries:  n,
+		Segments: s.segments,
+		Primary:  s.primary,
 	}
 }
 
-// Close flushes and closes the log file.
+// Close flushes and closes the write log, releasing its lock. A segment
+// that never received a record is removed so abandoned openers leave no
+// litter behind; the unlink happens while the flock is still held, so it
+// can only ever hit our own file — never a namesake claimed by a new
+// writer after the lock was released.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	removeEmpty := !s.primary && !s.writeFailed
+	if removeEmpty {
+		if fi, err := s.f.Stat(); err != nil || fi.Size() > int64(headerLen) {
+			removeEmpty = false
+		}
+	}
+	if removeEmpty {
+		os.Remove(s.writePath)
+	}
 	return s.f.Close()
 }
 
-// load reads the log, keeps its valid prefix in memory, and truncates
-// anything unreadable beyond it.
-func (s *Store) load() error {
+// loadPrimary reads the primary log (whose lock we hold), keeps its
+// valid prefix in memory, and truncates anything unreadable beyond it.
+func (s *Store) loadPrimary() error {
 	data, err := os.ReadFile(s.path)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	header := append(append([]byte{}, magic...), FormatVersion)
-	if len(data) < len(header) || string(data[:len(magic)]) != string(magic) || data[len(magic)] != FormatVersion {
+	recs, pos, ok := scanLog(data)
+	if !ok {
 		// Empty, foreign, or stale-version file: start fresh. Cached
 		// numbers from another format version must not be served.
 		if err := s.f.Truncate(0); err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
-		if _, err := s.f.WriteAt(header, 0); err != nil {
+		if _, err := s.f.WriteAt(header(), 0); err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
-		return s.seekEnd(int64(len(header)))
+		return s.seekEnd(int64(headerLen))
 	}
-	// Scan records; stop at the first corrupt or truncated one.
-	pos := len(header)
-	for pos < len(data) {
-		next, key, payload, ok := parseRecord(data, pos)
-		if !ok {
-			break
-		}
-		s.entries[key] = payload
-		pos = next
+	for _, r := range recs {
+		s.entries[r.key] = r.payload
 	}
 	if pos < len(data) {
 		if err := s.f.Truncate(int64(pos)); err != nil {
@@ -166,11 +269,103 @@ func (s *Store) load() error {
 	return s.seekEnd(int64(pos))
 }
 
+// claimSegment creates a fresh per-writer segment log. O_EXCL makes the
+// claim atomic even on a shared filesystem; the flock is uncontended
+// (nobody else can own a name they failed to create) but taken anyway so
+// compaction can tell live segments from abandoned ones.
+func (s *Store) claimSegment(dir string) error {
+	for k := 1; k < 1<<20; k++ {
+		p := filepath.Join(dir, fmt.Sprintf("seg-%05d.tifs", k))
+		f, err := os.OpenFile(p, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+		if errors.Is(err, fs.ErrExist) {
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if _, err := flock.TryExclusive(f); err != nil {
+			f.Close()
+			return fmt.Errorf("store: lock %s: %w", p, err)
+		}
+		if _, err := f.Write(header()); err != nil {
+			f.Close()
+			return fmt.Errorf("store: %w", err)
+		}
+		s.f, s.writePath, s.primary = f, p, false
+		return nil
+	}
+	return fmt.Errorf("store: no free segment slots in %s", dir)
+}
+
+// loadSegments merges the valid prefix of every segment present in dir
+// (except our own write target) into the entry map. Later segments
+// shadow earlier records with the same address; results are
+// deterministic in their key, so shadowing can never change a value.
+func (s *Store) loadSegments(dir string) error {
+	paths, err := filepath.Glob(filepath.Join(dir, segPattern))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if p == s.writePath {
+			continue
+		}
+		s.segments++
+		data, err := os.ReadFile(p)
+		if err != nil {
+			// A segment deleted by a concurrent compaction (its records
+			// now live in the primary) or otherwise unreadable: skip.
+			continue
+		}
+		recs, _, ok := scanLog(data)
+		if !ok {
+			continue // foreign or stale-version segment: contribute nothing
+		}
+		for _, r := range recs {
+			s.entries[r.key] = r.payload
+		}
+	}
+	return nil
+}
+
 func (s *Store) seekEnd(off int64) error {
 	if _, err := s.f.Seek(off, 0); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	return nil
+}
+
+// header renders the magic+version file header.
+func header() []byte {
+	return append(append(make([]byte, 0, headerLen), magic...), FormatVersion)
+}
+
+// rec is one decoded log record.
+type rec struct {
+	key     [sha256.Size]byte
+	payload []byte
+}
+
+// scanLog validates a log file image and decodes its records. ok is
+// false when the header is missing, foreign, or written by another
+// FormatVersion — such a file must contribute nothing. pos is the end of
+// the valid prefix; anything beyond it (a torn final append) is garbage
+// the caller may truncate if it owns the file.
+func scanLog(data []byte) (recs []rec, pos int, ok bool) {
+	if len(data) < headerLen || string(data[:len(magic)]) != string(magic) || data[len(magic)] != FormatVersion {
+		return nil, 0, false
+	}
+	pos = headerLen
+	for pos < len(data) {
+		next, key, payload, recOK := parseRecord(data, pos)
+		if !recOK {
+			break
+		}
+		recs = append(recs, rec{key: key, payload: payload})
+		pos = next
+	}
+	return recs, pos, true
 }
 
 // parseRecord decodes the record at data[pos:]: 32-byte key hash, varint
@@ -196,6 +391,14 @@ func parseRecord(data []byte, pos int) (next int, key [sha256.Size]byte, payload
 		return 0, key, nil, false
 	}
 	return pos + 4, key, payload, true
+}
+
+// appendRecord frames (addr, payload) as one log record.
+func appendRecord(dst []byte, addr [sha256.Size]byte, payload []byte) []byte {
+	dst = append(dst, addr[:]...)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
 }
 
 // address derives the content address of (kind, key).
@@ -228,16 +431,12 @@ func (s *Store) drop(kind byte, key string) {
 	s.mu.Unlock()
 }
 
-// put appends a record and indexes it. Write errors (disk full,
-// read-only media) disable nothing: the entry still lands in memory and
-// the next process simply re-simulates.
+// put appends a record to the owned log and indexes it. Write errors
+// (disk full, read-only media) disable nothing: the entry still lands in
+// memory and the next process simply re-simulates.
 func (s *Store) put(kind byte, key string, payload []byte) {
 	addr := address(kind, key)
-	rec := make([]byte, 0, sha256.Size+binary.MaxVarintLen64+len(payload)+4)
-	rec = append(rec, addr[:]...)
-	rec = binary.AppendUvarint(rec, uint64(len(payload)))
-	rec = append(rec, payload...)
-	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(payload))
+	rec := appendRecord(make([]byte, 0, sha256.Size+binary.MaxVarintLen64+len(payload)+4), addr, payload)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -303,4 +502,20 @@ func (s *Store) PutMissTraces(key string, recs [][]trace.MissRecord) {
 		return
 	}
 	s.put(kindMissTraces, key, payload)
+}
+
+// HasResult reports whether a record is stored under the engine job key,
+// without counting a hit or a miss. This is a presence check only —
+// every stored record already passed its CRC in scanLog, and the rare
+// payload that then fails to decode degrades to a re-simulation at read
+// time — so coverage preflights over huge grids stay cheap.
+func (s *Store) HasResult(key string) bool {
+	_, ok := s.get(kindResult, key)
+	return ok
+}
+
+// HasMissTraces is HasResult for trace extractions.
+func (s *Store) HasMissTraces(key string) bool {
+	_, ok := s.get(kindMissTraces, key)
+	return ok
 }

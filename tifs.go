@@ -22,12 +22,14 @@ package tifs
 
 import (
 	"fmt"
+	"os"
 
 	"tifs/internal/analysis"
 	"tifs/internal/core"
 	"tifs/internal/engine"
 	"tifs/internal/experiments"
 	"tifs/internal/isa"
+	"tifs/internal/shard"
 	"tifs/internal/sim"
 	"tifs/internal/store"
 	"tifs/internal/trace"
@@ -193,6 +195,143 @@ func SimulateAllStored(jobs []SimJob, parallelism int, st *ResultStore) []SimRes
 	e := engine.New(parallelism)
 	e.SetStore(st)
 	return e.RunAll(jobs)
+}
+
+// StoreCompaction reports what a result-store GC pass reclaimed.
+type StoreCompaction = store.CompactStats
+
+// CompactResultStore garbage-collects a result store directory: it
+// folds the per-writer segment files a sharded sweep leaves behind into
+// the primary log, drops shadowed duplicates and stale-format files, and
+// reclaims their space. It refuses to run while a writer holds the
+// primary, and skips segments whose writers are still alive; a crash at
+// any point leaves a store that opens cleanly. Run it after large sweeps
+// on a long-lived cache directory.
+func CompactResultStore(dir string) (StoreCompaction, error) { return store.Compact(dir) }
+
+// TraceJob names one per-core miss-trace extraction in a sweep grid.
+type TraceJob = engine.TraceJob
+
+// SweepGrid is the complete work list of an experiment sweep: every
+// simulation and miss-trace extraction the selected experiments perform.
+type SweepGrid = shard.Grid
+
+// ExperimentGrid enumerates the deduplicated sweep grid of the named
+// experiments (all of them when ids is empty) under the given options,
+// without running anything. The enumeration is deterministic, so every
+// worker of a sharded sweep derives the identical grid.
+func ExperimentGrid(ids []string, o ExperimentOptions) (SweepGrid, error) {
+	jobs, traces, err := experiments.Grid(ids, o)
+	if err != nil {
+		return SweepGrid{}, fmt.Errorf("tifs: %w", err)
+	}
+	return SweepGrid{Jobs: jobs, Traces: traces}, nil
+}
+
+// ShardReport summarizes one shard worker's pass over its slice of a
+// sweep.
+type ShardReport = shard.Report
+
+// ShardedSweep runs shard index of count over the grid, as one worker of
+// a multi-process (or multi-machine, via a shared filesystem) sweep
+// rooted at the store directory dir. The grid partitions by the SHA-256
+// of each grid point's canonical key, so all workers agree on ownership
+// without talking to each other; the lease manifest in dir additionally
+// records the claim so peers can detect and take over a dead worker's
+// shard. Grid points already present in the store are skipped. After
+// every shard completes, a merge pass — any normal experiment run with
+// the store attached, e.g. tifsbench -merge — assembles output
+// byte-identical to a single-process run from store hits alone.
+func ShardedSweep(dir string, index, count int, g SweepGrid, o ExperimentOptions) (ShardReport, error) {
+	c := shard.NewCoordinator(dir, g, count)
+	owner := sweepOwner()
+	if err := c.Claim(index, owner); err != nil {
+		return ShardReport{}, fmt.Errorf("tifs: %w", err)
+	}
+	rep, err := runShard(dir, c, g, index, count, owner, o)
+	if err != nil {
+		return rep, err
+	}
+	if err := c.Complete(index); err != nil {
+		return rep, fmt.Errorf("tifs: %w", err)
+	}
+	return rep, nil
+}
+
+// ShardedSweepAuto is ShardedSweep with lease-based self-assignment: the
+// worker claims unclaimed (or expired) shards one after another until
+// none remain, returning a report per shard it ran. Launch N such
+// workers against one dir to run a whole sweep with no manual shard
+// numbering.
+func ShardedSweepAuto(dir string, count int, g SweepGrid, o ExperimentOptions) ([]ShardReport, error) {
+	c := shard.NewCoordinator(dir, g, count)
+	owner := sweepOwner()
+	var reports []ShardReport
+	for {
+		index, ok, err := c.ClaimAny(owner)
+		if err != nil {
+			return reports, fmt.Errorf("tifs: %w", err)
+		}
+		if !ok {
+			return reports, nil
+		}
+		rep, err := runShard(dir, c, g, index, count, owner, o)
+		if err != nil {
+			return reports, err
+		}
+		reports = append(reports, rep)
+		if err := c.Complete(index); err != nil {
+			return reports, fmt.Errorf("tifs: %w", err)
+		}
+	}
+}
+
+// MissingFromStore reports the grid points absent from a store — the
+// preflight for a merge pass. Empty results mean the merge will assemble
+// entirely from store hits.
+func MissingFromStore(st *ResultStore, g SweepGrid) (jobs []SimJob, traces []TraceJob) {
+	return shard.Missing(st, g)
+}
+
+// runShard opens the worker's store handle and executes one shard under
+// a live lease.
+func runShard(dir string, c *shard.Coordinator, g SweepGrid, index, count int, owner string, o ExperimentOptions) (ShardReport, error) {
+	st, err := store.Open(dir)
+	if err != nil {
+		return ShardReport{}, fmt.Errorf("tifs: %w", err)
+	}
+	defer st.Close()
+	rep, err := shard.Run(st, g, index, count, o.Parallelism, func() error {
+		return c.Renew(index, owner)
+	}, c.RenewInterval())
+	if err != nil {
+		return rep, fmt.Errorf("tifs: %w", err)
+	}
+	return rep, nil
+}
+
+// sweepOwner identifies this worker in lease files.
+func sweepOwner() string {
+	host, err := os.Hostname()
+	if err != nil {
+		host = "unknown-host"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
+
+// SimEngine is the concurrency-bounded, memoizing simulation scheduler
+// experiments run on. Supplying one engine to several experiment runs
+// (ExperimentOptions.Engine) shares memoized simulations between them;
+// its counters say how much work a run actually performed.
+type SimEngine = engine.Engine
+
+// NewSimEngine creates an engine running at most parallelism
+// simulations at once (0 = GOMAXPROCS), optionally backed by a
+// persistent result store (nil = in-process memo only).
+func NewSimEngine(parallelism int, st *ResultStore) *SimEngine {
+	e := engine.New(parallelism)
+	e.SetStore(st)
+	return e
 }
 
 // ExperimentOptions scope an experiment run. Parallelism bounds how many

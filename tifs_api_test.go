@@ -71,6 +71,70 @@ func TestExperimentRegistryAPI(t *testing.T) {
 	}
 }
 
+// TestShardedSweepAPI drives the public sharding surface end to end:
+// enumerate a grid, run both workers of a 2-shard sweep into one store
+// directory, and verify a merge renders the same bytes as a direct run
+// with zero re-simulation.
+func TestShardedSweepAPI(t *testing.T) {
+	dir := t.TempDir()
+	o := tifs.ExperimentOptions{
+		Scale:     tifs.ScaleSmall,
+		Events:    3_000,
+		Workloads: []string{"OLTP-DB2"},
+	}
+	grid, err := tifs.ExperimentGrid([]string{"fig12", "fig13"}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid.Jobs) == 0 {
+		t.Fatal("grid enumerated no jobs")
+	}
+	if _, err := tifs.ExperimentGrid([]string{"fig99"}, o); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+
+	var total int
+	for index := 0; index < 2; index++ {
+		rep, err := tifs.ShardedSweep(dir, index, 2, grid, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += rep.Jobs + rep.Traces
+	}
+	if total != len(grid.Jobs)+len(grid.Traces) {
+		t.Errorf("shards covered %d of %d grid points", total, len(grid.Jobs)+len(grid.Traces))
+	}
+
+	st, err := tifs.OpenResultStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if jobs, traces := tifs.MissingFromStore(st, grid); len(jobs)+len(traces) != 0 {
+		t.Fatalf("store missing %d jobs, %d traces after both shards ran", len(jobs), len(traces))
+	}
+	e := tifs.NewSimEngine(0, st)
+	o.Engine = e
+	merged, err := tifs.RunExperiment("fig13", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := e.SimulationsRun(); n != 0 {
+		t.Errorf("merge re-simulated %d grid points", n)
+	}
+	direct, err := tifs.RunExperiment("fig13", tifs.ExperimentOptions{
+		Scale:     tifs.ScaleSmall,
+		Events:    3_000,
+		Workloads: []string{"OLTP-DB2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged != direct {
+		t.Errorf("merged output differs from direct run:\n--- merged\n%s\n--- direct\n%s", merged, direct)
+	}
+}
+
 func TestExperimentSingleWorkload(t *testing.T) {
 	out, err := tifs.RunExperiment("fig6", tifs.ExperimentOptions{
 		Scale:     tifs.ScaleSmall,
