@@ -27,19 +27,45 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"tifs"
 )
 
 func main() {
 	os.Exit(run())
+}
+
+// exitInterrupted is the exit code after a clean signal-triggered
+// shutdown (128+SIGINT, the shell convention).
+const exitInterrupted = 130
+
+// signalContext returns a context cancelled on the first SIGINT or
+// SIGTERM, letting in-flight work stop at a clean boundary (lease
+// released, store flushed and closed). A second signal force-quits
+// immediately for the case where the graceful path itself is stuck.
+func signalContext() (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ch
+		fmt.Fprintln(os.Stderr, "tifsbench: interrupt — finishing current batch and releasing the shard lease (send again to force quit)")
+		cancel()
+		<-ch
+		fmt.Fprintln(os.Stderr, "tifsbench: second interrupt — forcing quit")
+		os.Exit(exitInterrupted)
+	}()
+	return ctx, cancel
 }
 
 func run() int {
@@ -114,7 +140,9 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	o := tifs.ExperimentOptions{Scale: scale, Events: *events, Cores: *cores, Parallelism: *parallel}
+	ctx, stop := signalContext()
+	defer stop()
+	o := tifs.ExperimentOptions{Context: ctx, Scale: scale, Events: *events, Cores: *cores, Parallelism: *parallel}
 	if *workloads != "" {
 		for _, w := range strings.Split(*workloads, ",") {
 			name := strings.TrimSpace(w)
@@ -132,10 +160,10 @@ func run() int {
 	}
 
 	if *shardSpec != "" {
-		return runShardWorker(*shardSpec, *cacheDir, ids, o)
+		return runShardWorker(ctx, *shardSpec, *cacheDir, ids, o)
 	}
 	if *merge {
-		return runMerge(*cacheDir, ids, o)
+		return runMerge(ctx, *cacheDir, ids, o)
 	}
 
 	if *cacheDir != "" {
@@ -153,7 +181,7 @@ func run() int {
 
 	if *experiment == "all" {
 		fmt.Print(tifs.RunAllExperiments(o))
-		return 0
+		return interrupted(ctx)
 	}
 	out, err := tifs.RunExperiment(*experiment, o)
 	if err != nil {
@@ -161,14 +189,25 @@ func run() int {
 		return 2
 	}
 	fmt.Print(out)
-	return 0
+	return interrupted(ctx)
+}
+
+// interrupted converts a cancelled run context into the exit status: any
+// output printed after cancellation is partial and must not be mistaken
+// for a completed run.
+func interrupted(ctx context.Context) int {
+	if ctx.Err() == nil {
+		return 0
+	}
+	fmt.Fprintln(os.Stderr, "tifsbench: interrupted — output above is partial")
+	return exitInterrupted
 }
 
 // runShardWorker executes one sweep worker: shard "i/N" pins a shard,
 // "auto/N" claims shards through the lease manifest until none remain.
 // Workers print per-shard reports to stderr and no tables at all — the
 // -merge pass renders output once every shard is done.
-func runShardWorker(spec, cacheDir string, ids []string, o tifs.ExperimentOptions) int {
+func runShardWorker(ctx context.Context, spec, cacheDir string, ids []string, o tifs.ExperimentOptions) int {
 	if cacheDir == "" {
 		fmt.Fprintln(os.Stderr, "-shard requires -cache-dir (the store all workers share)")
 		return 2
@@ -188,9 +227,13 @@ func runShardWorker(spec, cacheDir string, ids []string, o tifs.ExperimentOption
 		len(grid.Jobs), len(grid.Traces), count)
 
 	if sel == "auto" {
-		reports, err := tifs.ShardedSweepAuto(cacheDir, count, grid, o)
+		reports, err := tifs.ShardedSweepAuto(ctx, cacheDir, count, grid, o)
 		for _, rep := range reports {
 			fmt.Fprintln(os.Stderr, rep)
+		}
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "tifsbench: interrupted — lease released; stored results are kept, a fresh worker resumes where this one stopped")
+			return exitInterrupted
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -204,7 +247,14 @@ func runShardWorker(spec, cacheDir string, ids []string, o tifs.ExperimentOption
 		fmt.Fprintf(os.Stderr, "bad -shard %q: index must be in [0,%d)\n", spec, count)
 		return 2
 	}
-	rep, err := tifs.ShardedSweep(cacheDir, index, count, grid, o)
+	rep, err := tifs.ShardedSweep(ctx, cacheDir, index, count, grid, o)
+	if ctx.Err() != nil {
+		// Partial report: the counters below say how far it got before
+		// the interrupt; everything counted is already in the store.
+		fmt.Fprintf(os.Stderr, "%s (interrupted)\n", rep)
+		fmt.Fprintln(os.Stderr, "tifsbench: interrupted — lease released; stored results are kept, a fresh worker resumes where this one stopped")
+		return exitInterrupted
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -217,7 +267,7 @@ func runShardWorker(spec, cacheDir string, ids []string, o tifs.ExperimentOption
 // shard coverage every grid point is a store hit and the pass takes
 // seconds; anything a failed worker left missing is re-computed here
 // (correct output either way) and reported so the operator knows.
-func runMerge(cacheDir string, ids []string, o tifs.ExperimentOptions) int {
+func runMerge(ctx context.Context, cacheDir string, ids []string, o tifs.ExperimentOptions) int {
 	if cacheDir == "" {
 		fmt.Fprintln(os.Stderr, "-merge requires -cache-dir (the store the shard workers filled)")
 		return 2
@@ -258,5 +308,5 @@ func runMerge(cacheDir string, ids []string, o tifs.ExperimentOptions) int {
 	} else {
 		fmt.Fprintf(os.Stderr, "merge: assembled entirely from the store (%d hits)\n", e.StoreHits())
 	}
-	return 0
+	return interrupted(ctx)
 }

@@ -8,12 +8,37 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"tifs"
 )
+
+// exitInterrupted is the exit code after a clean signal-triggered
+// shutdown (128+SIGINT, the shell convention).
+const exitInterrupted = 130
+
+// signalContext returns a context cancelled on the first SIGINT or
+// SIGTERM so the simulation batch stops at a clean boundary and the
+// store flushes and closes. A second signal force-quits immediately.
+func signalContext() (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ch
+		fmt.Fprintln(os.Stderr, "tifssim: interrupt — stopping (send again to force quit)")
+		cancel()
+		<-ch
+		fmt.Fprintln(os.Stderr, "tifssim: second interrupt — forcing quit")
+		os.Exit(exitInterrupted)
+	}()
+	return ctx, cancel
+}
 
 func mechanismByName(name string) (tifs.Mechanism, error) {
 	switch name {
@@ -37,6 +62,10 @@ func mechanismByName(name string) (tifs.Mechanism, error) {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		name      = flag.String("workload", "OLTP-DB2", "workload name")
 		scaleName = flag.String("scale", "small", "small|medium|full")
@@ -52,32 +81,34 @@ func main() {
 	if *storeGC {
 		if *cacheDir == "" {
 			fmt.Fprintln(os.Stderr, "-store-gc requires -cache-dir")
-			os.Exit(2)
+			return 2
 		}
 		st, err := tifs.CompactResultStore(*cacheDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintln(os.Stderr, st)
-		os.Exit(0)
+		return 0
 	}
 
 	spec, err := tifs.WorkloadByName(*name)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	scale, err := tifs.ParseScale(*scaleName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	mech, err := mechanismByName(*mechName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
+	ctx, stop := signalContext()
+	defer stop()
 
 	// Run the mechanism and (when requested) its next-line baseline as one
 	// batch so they execute concurrently on multi-core hosts. With
@@ -88,7 +119,7 @@ func main() {
 		st, err = tifs.OpenResultStore(*cacheDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		defer func() {
 			fmt.Fprintln(os.Stderr, st.Stats())
@@ -104,7 +135,11 @@ func main() {
 			Cores: *cores, EventsPerCore: *events, Mechanism: tifs.NextLineOnly(),
 		}})
 	}
-	results := tifs.SimulateAllStored(jobs, 0, st)
+	results := tifs.SimulateAllStoredContext(ctx, jobs, 0, st)
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "tifssim: interrupted — no report (partial results, if any, were saved to the cache)")
+		return exitInterrupted
+	}
 	r := results[0]
 
 	fmt.Printf("workload:   %s (%s scale, %d cores)\n", r.Workload, scale, *cores)
@@ -129,4 +164,5 @@ func main() {
 	if wantBaseline {
 		fmt.Printf("speedup over next-line: %.3f\n", r.SpeedupOver(results[1]))
 	}
+	return 0
 }

@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"tifs/internal/sim"
+	"tifs/internal/workload"
+)
+
+// TestCancelledRunReturnsZeroAndDoesNotPoison: a run under an already-
+// cancelled context returns zero results and memoizes nothing — the same
+// jobs on a live context afterwards compute full, correct results.
+func TestCancelledRunReturnsZeroAndDoesNotPoison(t *testing.T) {
+	oltp := spec(t, "OLTP-DB2")
+	jobs := []Job{job(oltp, sim.Baseline()), job(oltp, sim.FDIP())}
+
+	e := New(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i, r := range e.RunAll(ctx, jobs) {
+		if !reflect.DeepEqual(r, sim.Result{}) {
+			t.Fatalf("cancelled job %d returned a non-zero result: %+v", i, r)
+		}
+	}
+	if got := e.SimulationsRun(); got != 0 {
+		t.Fatalf("cancelled run still simulated %d jobs", got)
+	}
+
+	// The aborted keys were removed, not left pointing at zero results:
+	// a live context recomputes them for real.
+	want := New(1).RunAll(context.Background(), jobs)
+	got := e.RunAll(context.Background(), jobs)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-cancel recompute diverges:\n%+v\nvs\n%+v", got, want)
+	}
+}
+
+// TestCancelledMissTracesAbortsAndRecomputes: trace extraction under a
+// cancelled context returns nil without memoizing a partial per-core
+// set; a later call with a live context yields the full traces.
+func TestCancelledMissTracesAbortsAndRecomputes(t *testing.T) {
+	oltp := spec(t, "OLTP-DB2")
+	tj := TraceJob{Spec: oltp, Scale: workload.ScaleSmall, Cores: 2, Events: 5_000}
+
+	e := New(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if got := e.ExtractTraces(ctx, tj); got != nil {
+		t.Fatalf("cancelled extraction returned %d traces, want nil", len(got))
+	}
+
+	want := New(1).ExtractTraces(context.Background(), tj)
+	if len(want) != tj.Cores {
+		t.Fatalf("reference extraction returned %d traces, want %d", len(want), tj.Cores)
+	}
+	got := e.ExtractTraces(context.Background(), tj)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("post-cancel trace recompute diverges from a clean run")
+	}
+}

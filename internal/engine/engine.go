@@ -19,9 +19,17 @@
 // store (SetStore) carries results and miss traces across processes, so
 // a repeated CLI invocation skips every grid point it has already
 // simulated.
+//
+// Cancellation: every scheduling entry point takes a context.Context and
+// stops admitting work once it is cancelled. Cancellation aborts, it
+// does not poison — an entry whose simulation never ran is removed from
+// the memo, so a later call with a live context recomputes it; results
+// that did complete stay cached and stay correct. Callers must treat any
+// result returned after ctx is cancelled as invalid.
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -66,7 +74,9 @@ func (t TraceJob) Key() string {
 	return fmt.Sprintf("%+v|%d|%d|%d", t.Spec, t.Scale, t.Cores, t.Events)
 }
 
-// simEntry is one memoized simulation; done is closed when res is valid.
+// simEntry is one memoized simulation; done is closed when res is valid
+// (or when the entry was aborted — aborted entries are removed from the
+// memo before done closes, so only in-flight waiters see them).
 type simEntry struct {
 	done chan struct{}
 	res  sim.Result
@@ -156,28 +166,31 @@ func Default() *Engine {
 }
 
 // Run executes one job, deduplicating against identical in-flight or
-// completed runs. The caller blocks until the result is available.
-func (e *Engine) Run(job Job) sim.Result {
-	return e.wait(e.start(job))
+// completed runs. The caller blocks until the result is available, or
+// until ctx is cancelled — then the zero Result returns immediately and
+// the job, if it never started, is forgotten rather than poisoned.
+func (e *Engine) Run(ctx context.Context, job Job) sim.Result {
+	return e.wait(ctx, e.start(ctx, job))
 }
 
 // RunAll executes a batch of jobs across the worker pool and returns the
 // results in job order. Duplicate keys within the batch (and against any
-// earlier run) are simulated only once.
-func (e *Engine) RunAll(jobs []Job) []sim.Result {
+// earlier run) are simulated only once. If ctx is cancelled mid-batch,
+// unstarted jobs are abandoned and their slots hold the zero Result.
+func (e *Engine) RunAll(ctx context.Context, jobs []Job) []sim.Result {
 	entries := make([]*simEntry, len(jobs))
 	for i, j := range jobs {
-		entries[i] = e.start(j)
+		entries[i] = e.start(ctx, j)
 	}
 	out := make([]sim.Result, len(jobs))
 	for i, en := range entries {
-		out[i] = e.wait(en)
+		out[i] = e.wait(ctx, en)
 	}
 	return out
 }
 
 // start launches (or joins) the simulation for job and returns its entry.
-func (e *Engine) start(job Job) *simEntry {
+func (e *Engine) start(ctx context.Context, job Job) *simEntry {
 	key := job.Key()
 	e.mu.Lock()
 	if en, ok := e.sims[key]; ok {
@@ -189,8 +202,19 @@ func (e *Engine) start(job Job) *simEntry {
 	e.mu.Unlock()
 
 	go func() {
-		e.sem <- struct{}{}
+		select {
+		case e.sem <- struct{}{}:
+		case <-ctx.Done():
+			e.abortSim(key, en)
+			return
+		}
 		defer func() { <-e.sem }()
+		if ctx.Err() != nil {
+			// Cancelled while queued: nothing ran, so the key must not
+			// be remembered as done.
+			e.abortSim(key, en)
+			return
+		}
 		if e.store != nil {
 			if res, ok := e.store.GetResult(key); ok {
 				e.storeHits.Add(1)
@@ -213,12 +237,30 @@ func (e *Engine) start(job Job) *simEntry {
 	return en
 }
 
+// abortSim unwinds a memo entry whose simulation never ran: the key is
+// deleted first, so no new caller can join, then done is closed to
+// release the waiters already parked on it (they observe the zero
+// Result, which cancelled callers must discard anyway).
+func (e *Engine) abortSim(key string, en *simEntry) {
+	e.mu.Lock()
+	if cur, ok := e.sims[key]; ok && cur == en {
+		delete(e.sims, key)
+	}
+	e.mu.Unlock()
+	close(en.done)
+}
+
 // wait blocks for an entry and returns a defensive copy: cached results
 // are shared between callers, so the slices and pointers inside must not
-// alias across them.
-func (e *Engine) wait(en *simEntry) sim.Result {
-	<-en.done
-	return copyResult(en.res)
+// alias across them. A cancelled ctx unblocks immediately with the zero
+// Result.
+func (e *Engine) wait(ctx context.Context, en *simEntry) sim.Result {
+	select {
+	case <-en.done:
+		return copyResult(en.res)
+	case <-ctx.Done():
+		return sim.Result{}
+	}
 }
 
 // copyResult clones the result's reference fields.
@@ -255,25 +297,44 @@ func (e *Engine) Keys() (sims, traces []string) {
 
 // ExtractTraces is MissTraces keyed by a TraceJob, for callers that
 // enumerate extraction work the same way they enumerate simulations.
-func (e *Engine) ExtractTraces(t TraceJob) [][]trace.MissRecord {
-	return e.MissTraces(t.Spec, t.Scale, t.Cores, t.Events)
+func (e *Engine) ExtractTraces(ctx context.Context, t TraceJob) [][]trace.MissRecord {
+	return e.MissTraces(ctx, t.Spec, t.Scale, t.Cores, t.Events)
 }
 
 // MissTraces returns the per-core filtered L1-I miss traces for a
 // workload build — the input of every offline analysis experiment —
 // extracting each core's trace concurrently and memoizing the whole set.
 // Callers must treat the returned records as read-only; they are shared.
-func (e *Engine) MissTraces(spec workload.Spec, scale workload.Scale, cores int, events uint64) [][]trace.MissRecord {
+// A cancelled ctx returns nil; a partially extracted set is discarded,
+// not memoized.
+func (e *Engine) MissTraces(ctx context.Context, spec workload.Spec, scale workload.Scale, cores int, events uint64) [][]trace.MissRecord {
+	if ctx.Err() != nil {
+		return nil
+	}
 	key := TraceJob{Spec: spec, Scale: scale, Cores: cores, Events: events}.Key()
 	e.mu.Lock()
 	if en, ok := e.traces[key]; ok {
 		e.mu.Unlock()
-		<-en.done
-		return en.recs
+		select {
+		case <-en.done:
+			return en.recs
+		case <-ctx.Done():
+			return nil
+		}
 	}
 	en := &traceEntry{done: make(chan struct{})}
 	e.traces[key] = en
 	e.mu.Unlock()
+
+	abort := func() [][]trace.MissRecord {
+		e.mu.Lock()
+		if cur, ok := e.traces[key]; ok && cur == en {
+			delete(e.traces, key)
+		}
+		e.mu.Unlock()
+		close(en.done)
+		return nil
+	}
 
 	if e.store != nil {
 		if recs, ok := e.store.GetMissTraces(key); ok && len(recs) == cores {
@@ -286,17 +347,30 @@ func (e *Engine) MissTraces(spec workload.Spec, scale workload.Scale, cores int,
 
 	gen := workload.Build(spec, scale, cores)
 	sources := gen.Sources()
-	en.recs = make([][]trace.MissRecord, cores)
+	recs := make([][]trace.MissRecord, cores)
+	var cancelled atomic.Bool
 	var wg sync.WaitGroup
 	for i := 0; i < cores; i++ {
 		wg.Add(1)
 		go func(i int) {
-			e.sem <- struct{}{}
-			defer func() { <-e.sem; wg.Done() }()
-			en.recs[i] = trace.ExtractMisses(sources[i], events, trace.ExtractorConfig{})
+			defer wg.Done()
+			select {
+			case e.sem <- struct{}{}:
+			case <-ctx.Done():
+				cancelled.Store(true)
+				return
+			}
+			defer func() { <-e.sem }()
+			recs[i] = trace.ExtractMisses(sources[i], events, trace.ExtractorConfig{})
 		}(i)
 	}
 	wg.Wait()
+	if cancelled.Load() || ctx.Err() != nil {
+		// A partial set must not be memoized or stored: the next caller
+		// with a live context recomputes all cores.
+		return abort()
+	}
+	en.recs = recs
 	if e.store != nil {
 		e.store.PutMissTraces(key, en.recs)
 	}

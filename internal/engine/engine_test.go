@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -36,8 +37,8 @@ func TestRunAllPreservesOrderAndMatchesSerial(t *testing.T) {
 		job(web, sim.Baseline()),
 	}
 
-	parallel := New(8).RunAll(jobs)
-	serial := New(1).RunAll(jobs)
+	parallel := New(8).RunAll(context.Background(), jobs)
+	serial := New(1).RunAll(context.Background(), jobs)
 	if len(parallel) != len(jobs) {
 		t.Fatalf("got %d results for %d jobs", len(parallel), len(jobs))
 	}
@@ -60,7 +61,7 @@ func TestDuplicateJobsSimulateOnce(t *testing.T) {
 	e := New(4)
 	oltp := spec(t, "OLTP-DB2")
 	j := job(oltp, sim.Baseline())
-	res := e.RunAll([]Job{j, j, j, j})
+	res := e.RunAll(context.Background(), []Job{j, j, j, j})
 	if got := e.SimulationsRun(); got != 1 {
 		t.Errorf("4 identical jobs ran %d simulations, want 1", got)
 	}
@@ -70,7 +71,7 @@ func TestDuplicateJobsSimulateOnce(t *testing.T) {
 		}
 	}
 	// A later submission of the same job is also a memo hit.
-	e.Run(j)
+	e.Run(context.Background(), j)
 	if got := e.SimulationsRun(); got != 1 {
 		t.Errorf("re-run after completion ran %d simulations, want 1", got)
 	}
@@ -79,8 +80,8 @@ func TestDuplicateJobsSimulateOnce(t *testing.T) {
 func TestCachedResultsDoNotAlias(t *testing.T) {
 	e := New(2)
 	j := job(spec(t, "DSS-Qry2"), sim.TIFS(core.VirtualizedConfig()))
-	a := e.Run(j)
-	b := e.Run(j)
+	a := e.Run(context.Background(), j)
+	b := e.Run(context.Background(), j)
 	if a.TIFS == nil || b.TIFS == nil {
 		t.Fatal("TIFS stats missing")
 	}
@@ -89,7 +90,7 @@ func TestCachedResultsDoNotAlias(t *testing.T) {
 	}
 	a.PerCore[0].Cycles = 0
 	a.TIFS.IndexLookups = 0
-	c := e.Run(j)
+	c := e.Run(context.Background(), j)
 	if c.PerCore[0].Cycles == 0 || c.TIFS.IndexLookups == 0 {
 		t.Error("mutating a returned result corrupted the cache")
 	}
@@ -112,7 +113,7 @@ func TestConcurrentTIFSRuns(t *testing.T) {
 			job(web, sim.Baseline()),
 		)
 	}
-	res := e.RunAll(jobs)
+	res := e.RunAll(context.Background(), jobs)
 	for i, r := range res {
 		if r.Cycles == 0 {
 			t.Errorf("job %d produced an empty result", i)
@@ -143,8 +144,8 @@ func TestStoreSecondTier(t *testing.T) {
 	}
 	e1 := New(2)
 	e1.SetStore(st1)
-	cold := e1.RunAll(jobs)
-	coldTraces := e1.MissTraces(oltp, workload.ScaleSmall, 4, 5_000)
+	cold := e1.RunAll(context.Background(), jobs)
+	coldTraces := e1.MissTraces(context.Background(), oltp, workload.ScaleSmall, 4, 5_000)
 	if got := e1.SimulationsRun(); got != 3 {
 		t.Fatalf("cold engine ran %d simulations, want 3", got)
 	}
@@ -160,8 +161,8 @@ func TestStoreSecondTier(t *testing.T) {
 	defer st2.Close()
 	e2 := New(2)
 	e2.SetStore(st2)
-	warm := e2.RunAll(jobs)
-	warmTraces := e2.MissTraces(oltp, workload.ScaleSmall, 4, 5_000)
+	warm := e2.RunAll(context.Background(), jobs)
+	warmTraces := e2.MissTraces(context.Background(), oltp, workload.ScaleSmall, 4, 5_000)
 	if got := e2.SimulationsRun(); got != 0 {
 		t.Errorf("warm engine ran %d simulations, want 0", got)
 	}
@@ -175,7 +176,7 @@ func TestStoreSecondTier(t *testing.T) {
 		t.Error("store round trip changed miss traces")
 	}
 
-	plain := New(2).RunAll(jobs)
+	plain := New(2).RunAll(context.Background(), jobs)
 	if !reflect.DeepEqual(cold, plain) {
 		t.Error("results with the store differ from results without it")
 	}
@@ -184,8 +185,8 @@ func TestStoreSecondTier(t *testing.T) {
 func TestMissTracesMemoized(t *testing.T) {
 	e := New(4)
 	oltp := spec(t, "OLTP-DB2")
-	a := e.MissTraces(oltp, workload.ScaleSmall, 4, 10_000)
-	b := e.MissTraces(oltp, workload.ScaleSmall, 4, 10_000)
+	a := e.MissTraces(context.Background(), oltp, workload.ScaleSmall, 4, 10_000)
+	b := e.MissTraces(context.Background(), oltp, workload.ScaleSmall, 4, 10_000)
 	if len(a) != 4 {
 		t.Fatalf("got %d cores", len(a))
 	}

@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"tifs/internal/analysis"
@@ -23,6 +24,11 @@ import (
 
 // Options control experiment scope.
 type Options struct {
+	// Context, when non-nil, bounds the run: cancellation stops
+	// scheduling new simulations and unblocks waiters promptly.
+	// Tables rendered after cancellation are partial and must be
+	// treated as invalid output (CLI runners mark them interrupted).
+	Context context.Context
 	// Scale selects workload size; experiments use its default event
 	// budgets unless Events overrides them.
 	Scale workload.Scale
@@ -56,6 +62,14 @@ func (o Options) withDefaults() Options {
 		o.Cores = 4
 	}
 	return o
+}
+
+// ctx returns the run's context (Background when unset).
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 // engine returns the scheduler for this run.
@@ -119,7 +133,7 @@ func (o Options) traceJob(spec workload.Spec) engine.TraceJob {
 // o.Engine) never re-extract. A nonzero Parallelism with a nil Engine
 // creates a fresh engine per call and forgoes that cross-call sharing.
 func missTraces(spec workload.Spec, o Options) [][]trace.MissRecord {
-	return o.engine().ExtractTraces(o.traceJob(spec))
+	return o.engine().ExtractTraces(o.ctx(), o.traceJob(spec))
 }
 
 // analysisTraces enumerates the trace extractions the offline analysis
@@ -203,7 +217,7 @@ func Fig1(o Options) (Fig1Result, string) {
 	coverages := fig1Coverages
 
 	suite := o.suite()
-	results := o.engine().RunAll(fig1Jobs(o))
+	results := o.engine().RunAll(o.ctx(), fig1Jobs(o))
 
 	headers := []string{"Workload"}
 	for _, c := range coverages {

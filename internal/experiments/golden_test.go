@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -137,7 +138,7 @@ func TestGoldenShardedMerge(t *testing.T) {
 							}
 							return
 						}
-						if _, err := shard.Run(st, g, idx, count, 2, nil, 0); err != nil {
+						if _, err := shard.Run(context.Background(), st, g, idx, count, 2, nil, 0, 0); err != nil {
 							errs <- err
 							return
 						}

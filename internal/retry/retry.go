@@ -1,0 +1,131 @@
+// Package retry is the one shared policy for handling I/O failures in
+// the persistence and coordination stack: classify the error, retry the
+// transient ones under capped exponential backoff with deterministic
+// jitter, and surface the permanent ones immediately so the caller can
+// degrade gracefully (the store drops to in-memory operation, a shard
+// gives its lease back).
+//
+// Classification is deliberately conservative in the permanent
+// direction: an error we cannot recognize as transient is permanent,
+// because the stack always has a safe degraded mode — recompute, or
+// abort cleanly — whereas spinning on a genuinely dead disk would stall
+// a sweep without bound.
+package retry
+
+import (
+	"errors"
+	"io"
+	"syscall"
+	"time"
+)
+
+// Transient reports whether err is worth retrying: the class of faults
+// that flaky shared filesystems and interrupted syscalls produce and
+// that typically heal within milliseconds. Everything else — disk full
+// (ENOSPC, EDQUOT), read-only media (EROFS), permission failures, and
+// unrecognized error types — is permanent and must be handled by
+// degradation, not repetition.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, io.ErrShortWrite) {
+		// A short write with no errno is a torn append whose cause is
+		// unknown; the writer re-issues at the same offset, so retrying
+		// is safe and usually succeeds.
+		return true
+	}
+	var errno syscall.Errno
+	if errors.As(err, &errno) {
+		switch errno {
+		case syscall.EINTR, syscall.EAGAIN, syscall.EBUSY, syscall.ETIMEDOUT,
+			syscall.EIO, syscall.ESTALE, syscall.ENOLCK:
+			// EIO and ESTALE are the classic transient NFS faults; a
+			// persistent EIO simply exhausts the attempt budget and then
+			// degrades like a permanent fault.
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// Policy is a capped exponential backoff schedule. The zero value is
+// usable: 4 attempts, 2ms base, 250ms cap, real sleeping.
+type Policy struct {
+	// Attempts is the total number of tries, including the first
+	// (0 selects 4).
+	Attempts int
+	// Base is the first backoff delay (0 selects 2ms); delay doubles
+	// per retry, capped at Max (0 selects 250ms).
+	Base, Max time.Duration
+	// Seed decorrelates the deterministic jitter between independent
+	// retry sites; the same (Seed, attempt) always yields the same
+	// delay, so a failing schedule reproduces exactly.
+	Seed uint64
+	// Sleep is the delay function (nil selects time.Sleep); tests
+	// substitute a recorder to run schedules instantly.
+	Sleep func(time.Duration)
+}
+
+func (p Policy) attempts() int {
+	if p.Attempts <= 0 {
+		return 4
+	}
+	return p.Attempts
+}
+
+// Backoff returns the delay before retry attempt (0-based: the delay
+// after the first failure is Backoff(0)). The schedule is exponential
+// from Base with a deterministic jitter in [delay/2, delay]: jittered
+// enough that lock-step writers decorrelate, deterministic enough that
+// a reproduced failure replays the same timing.
+func (p Policy) Backoff(attempt int) time.Duration {
+	base, max := p.Base, p.Max
+	if base <= 0 {
+		base = 2 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 250 * time.Millisecond
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// xorshift* on (Seed, attempt): cheap, stateless, deterministic.
+	x := p.Seed ^ (uint64(attempt)+1)*0x9e3779b97f4a7c15
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(x%uint64(half+1))
+}
+
+// Do runs op, retrying transient failures per the policy. It returns
+// nil on success, or the final error: the first permanent failure, or
+// the last transient one once attempts are exhausted.
+func (p Policy) Do(op func() error) error {
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	var err error
+	for attempt := 0; attempt < p.attempts(); attempt++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		if !Transient(err) {
+			return err
+		}
+		if attempt < p.attempts()-1 {
+			sleep(p.Backoff(attempt))
+		}
+	}
+	return err
+}

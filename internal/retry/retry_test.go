@@ -1,0 +1,116 @@
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestTransientClassification(t *testing.T) {
+	transient := []error{
+		syscall.EIO,
+		syscall.EINTR,
+		syscall.EAGAIN,
+		syscall.ESTALE,
+		syscall.ENOLCK,
+		io.ErrShortWrite,
+		fmt.Errorf("wrapped: %w", syscall.EIO),
+		fmt.Errorf("wrapped: %w", io.ErrShortWrite),
+	}
+	for _, err := range transient {
+		if !Transient(err) {
+			t.Errorf("Transient(%v) = false, want true", err)
+		}
+	}
+	permanent := []error{
+		nil,
+		syscall.ENOSPC,
+		syscall.EROFS,
+		syscall.EACCES,
+		syscall.EDQUOT,
+		errors.New("anything unrecognized"),
+	}
+	for _, err := range permanent {
+		if Transient(err) {
+			t.Errorf("Transient(%v) = true, want false", err)
+		}
+	}
+}
+
+func TestBackoffDeterministicCappedJittered(t *testing.T) {
+	p := Policy{Base: 2 * time.Millisecond, Max: 16 * time.Millisecond, Seed: 42}
+	for attempt := 0; attempt < 8; attempt++ {
+		d := p.Backoff(attempt)
+		if d != p.Backoff(attempt) {
+			t.Fatalf("attempt %d: backoff is not deterministic", attempt)
+		}
+		// The uncapped exponential envelope for this attempt.
+		envelope := 2 * time.Millisecond << attempt
+		if envelope > p.Max {
+			envelope = p.Max
+		}
+		if d < envelope/2 || d > envelope {
+			t.Errorf("attempt %d: delay %v outside jitter window [%v, %v]", attempt, d, envelope/2, envelope)
+		}
+	}
+	// Different seeds decorrelate the schedule.
+	q := Policy{Base: 2 * time.Millisecond, Max: 16 * time.Millisecond, Seed: 43}
+	same := true
+	for attempt := 0; attempt < 8; attempt++ {
+		if p.Backoff(attempt) != q.Backoff(attempt) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("two seeds produced identical schedules")
+	}
+}
+
+func TestDoRetriesTransientOnly(t *testing.T) {
+	var slept []time.Duration
+	p := Policy{Attempts: 3, Sleep: func(d time.Duration) { slept = append(slept, d) }}
+
+	// Transient failures heal: two EIOs, then success.
+	calls := 0
+	err := p.Do(func() error {
+		calls++
+		if calls < 3 {
+			return syscall.EIO
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("healing transient: err=%v calls=%d", err, calls)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2 (between attempts only)", len(slept))
+	}
+
+	// A permanent failure returns immediately, no retries, no sleeping.
+	slept = nil
+	calls = 0
+	err = p.Do(func() error { calls++; return syscall.ENOSPC })
+	if !errors.Is(err, syscall.ENOSPC) || calls != 1 || len(slept) != 0 {
+		t.Fatalf("permanent: err=%v calls=%d sleeps=%d, want immediate ENOSPC", err, calls, len(slept))
+	}
+
+	// Persistent transient failures exhaust the budget and surface the
+	// last error.
+	calls = 0
+	err = p.Do(func() error { calls++; return syscall.EIO })
+	if !errors.Is(err, syscall.EIO) || calls != 3 {
+		t.Fatalf("exhaustion: err=%v calls=%d, want EIO after 3 attempts", err, calls)
+	}
+}
+
+func TestDoZeroValueDefaults(t *testing.T) {
+	p := Policy{Sleep: func(time.Duration) {}}
+	calls := 0
+	p.Do(func() error { calls++; return syscall.EIO })
+	if calls != 4 {
+		t.Fatalf("zero-value policy ran %d attempts, want 4", calls)
+	}
+}

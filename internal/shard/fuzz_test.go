@@ -1,9 +1,68 @@
 package shard
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"tifs/internal/vfs"
 )
+
+// tornManifestImages renders manifest images through the fault layer's
+// torn-write mode: a fresh manifest torn half way, and a short manifest
+// torn over a longer predecessor so the old file's tail shows through —
+// the states a writer WITHOUT atomic replacement would leave behind.
+// The strict parser must reject them (or, for a clean prefix, never
+// misread them); seeding real injected wreckage keeps the fuzzer honest.
+func tornManifestImages(f *testing.F) [][]byte {
+	f.Helper()
+	dir := f.TempDir()
+	longer := Manifest{
+		GridHash: strings.Repeat("ab", 32),
+		Count:    3,
+		Shards: []Lease{
+			{Index: 0, State: StateClaimed, Owner: "host-1.example.com-31337", Expires: 1_754_600_000},
+			{Index: 1, State: StateClaimed, Owner: "host-2.example.com-31338", Expires: 1_754_600_060},
+			{Index: 2, State: StateFree},
+		},
+	}.encode()
+	shorter := Manifest{
+		GridHash: strings.Repeat("cd", 32),
+		Count:    1,
+		Shards:   []Lease{{Index: 0, State: StateFree}},
+	}.encode()
+
+	write := func(fsys vfs.FS, name string, data []byte) string {
+		path := filepath.Join(dir, name)
+		fh, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			f.Fatal(err)
+		}
+		fh.WriteAt(data, 0) // torn variants return the injected error; the half image is the point
+		fh.Close()
+		return path
+	}
+
+	torn := vfs.NewFault(vfs.OS, vfs.Rule{Op: vfs.OpWrite, Times: -1, Mode: vfs.ModeShortWrite})
+	fresh := write(torn, "fresh", longer)
+
+	mixed := write(vfs.OS, "mixed", longer)
+	write(torn, "mixed", shorter) // torn in-place overwrite: half new head, old tail
+
+	var out [][]byte
+	for _, path := range []string{fresh, mixed} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if len(data) == 0 {
+			f.Fatal("torn-write seed generation produced an empty image")
+		}
+		out = append(out, data)
+	}
+	return out
+}
 
 // FuzzShardManifest throws arbitrary bytes at the manifest/lease parser.
 // The parser coordinates mutually-untrusting workers through a shared
@@ -30,6 +89,9 @@ func FuzzShardManifest(f *testing.F) {
 	f.Add([]byte("TIFSSHARDS 1\ngrid " + strings.Repeat("00", 32) + " count 1\nshard 0 free \"\" 0\n"))
 	f.Add([]byte{})
 	f.Add([]byte("shard 0 free \"\" 0\n"))
+	for _, img := range tornManifestImages(f) {
+		f.Add(img)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := parseManifest(data)

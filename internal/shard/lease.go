@@ -9,8 +9,9 @@ import (
 	"strings"
 	"time"
 
-	"tifs/internal/flock"
+	"tifs/internal/retry"
 	"tifs/internal/store"
+	"tifs/internal/vfs"
 )
 
 // Lease states. A shard is free until claimed; a claim expires (and
@@ -196,6 +197,13 @@ type Coordinator struct {
 	TTL time.Duration
 	// Now is the clock (overridable in tests).
 	Now func() time.Time
+	// FS is the filesystem the manifest lives on (the fault seam;
+	// vfs.OS outside tests).
+	FS vfs.FS
+	// Retry is the backoff policy for transient manifest I/O faults —
+	// the read and the atomic write-back each ride out flaky-NFS-class
+	// errors under it before the operation is reported failed.
+	Retry retry.Policy
 }
 
 // NewCoordinator prepares shard coordination for grid split count ways,
@@ -208,6 +216,7 @@ func NewCoordinator(dir string, grid Grid, count int) *Coordinator {
 		count: count,
 		TTL:   DefaultTTL,
 		Now:   time.Now,
+		FS:    vfs.OS,
 	}
 }
 
@@ -230,22 +239,20 @@ func (c *Coordinator) update(fn func(m *Manifest) error) error {
 	if c.count < 1 || c.count > maxShards {
 		return fmt.Errorf("shard: implausible shard count %d", c.count)
 	}
-	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+	fsys := c.fs()
+	if err := fsys.MkdirAll(c.dir, 0o755); err != nil {
 		return fmt.Errorf("shard: %w", err)
 	}
-	lf, err := os.OpenFile(filepath.Join(c.dir, manifestLock), os.O_RDWR|os.O_CREATE, 0o644)
+	lf, err := c.openLockRetry(fsys)
 	if err != nil {
-		return fmt.Errorf("shard: %w", err)
+		return err
 	}
 	defer lf.Close()
-	if err := flock.Exclusive(lf); err != nil {
-		return fmt.Errorf("shard: lock %s: %w", lf.Name(), err)
-	}
-	defer flock.Unlock(lf)
+	defer lf.Unlock()
 
 	path := filepath.Join(c.dir, manifestName)
 	var m Manifest
-	data, err := os.ReadFile(path)
+	data, err := c.readManifestRetry(fsys, path)
 	switch {
 	case errors.Is(err, os.ErrNotExist):
 		m = Manifest{GridHash: c.hash, Count: c.count, Shards: make([]Lease, c.count)}
@@ -286,11 +293,62 @@ func (c *Coordinator) update(fn func(m *Manifest) error) error {
 	// Durable replacement (fsync before rename, directory fsync after): a
 	// torn manifest would not corrupt results, but the strict parser
 	// would refuse it and wedge every worker until an operator deleted
-	// the file.
-	if err := store.AtomicWriteFile(path, m.encode()); err != nil {
+	// the file. Transient faults anywhere in the write-back are retried
+	// whole — AtomicWriteFileFS leaves the old manifest intact on any
+	// failure, so re-running it is always safe.
+	if err := c.Retry.Do(func() error { return store.AtomicWriteFileFS(fsys, path, m.encode()) }); err != nil {
 		return fmt.Errorf("shard: %w", err)
 	}
 	return nil
+}
+
+// fs returns the coordination filesystem (vfs.OS unless injected).
+func (c *Coordinator) fs() vfs.FS {
+	if c.FS != nil {
+		return c.FS
+	}
+	return vfs.OS
+}
+
+// openLockRetry opens the coordination lock file and blocks for its
+// exclusive lock, riding out transient faults on either step.
+func (c *Coordinator) openLockRetry(fsys vfs.FS) (vfs.File, error) {
+	var lf vfs.File
+	err := c.Retry.Do(func() error {
+		f, err := fsys.OpenFile(filepath.Join(c.dir, manifestLock), os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			return err
+		}
+		if err := f.Lock(); err != nil {
+			f.Close()
+			return err
+		}
+		lf = f
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("shard: lock %s: %w", filepath.Join(c.dir, manifestLock), err)
+	}
+	return lf, nil
+}
+
+// readManifestRetry reads the manifest, riding out transient faults.
+// A missing manifest is not a fault — it is first use.
+func (c *Coordinator) readManifestRetry(fsys vfs.FS, path string) (data []byte, err error) {
+	err = c.Retry.Do(func() error {
+		data, err = fsys.ReadFile(path)
+		if errors.Is(err, os.ErrNotExist) {
+			return nil // surfaced through the data==nil err return below
+		}
+		return err
+	})
+	if err == nil {
+		if data == nil {
+			return nil, os.ErrNotExist
+		}
+		return data, nil
+	}
+	return nil, err
 }
 
 // Manifest returns a validated snapshot of the coordination state.
@@ -365,6 +423,26 @@ func (c *Coordinator) Renew(index int, owner string) error {
 				index, owner, l.State, l.Owner, ErrLeaseLost)
 		}
 		m.Shards[index].Expires = now.Add(c.TTL).Unix()
+		return nil
+	})
+}
+
+// Release hands owner's claim on a shard back: the lease returns to
+// free, immediately claimable by any worker — no TTL expiry wait. An
+// interrupted worker (SIGINT mid-sweep) releases on the way out so the
+// rest of the fleet, or a retry, can pick the shard up at once. Releasing
+// a shard owner no longer holds is a no-op: the takeover already
+// transferred ownership, and done is terminal.
+func (c *Coordinator) Release(index int, owner string) error {
+	return c.update(func(m *Manifest) error {
+		if index < 0 || index >= m.Count {
+			return fmt.Errorf("shard: index %d out of range [0,%d)", index, m.Count)
+		}
+		l := m.Shards[index]
+		if l.State != StateClaimed || l.Owner != owner {
+			return errNoWrite
+		}
+		m.Shards[index] = Lease{Index: index, State: StateFree}
 		return nil
 	})
 }

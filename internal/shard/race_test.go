@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"strings"
@@ -48,7 +49,7 @@ func TestShardedSweepCooperates(t *testing.T) {
 						if !ok {
 							return
 						}
-						if _, err := Run(st, g, idx, count, 2, func() error { return c.Renew(idx, owner) }, 50*time.Millisecond); err != nil {
+						if _, err := Run(context.Background(), st, g, idx, count, 2, func() error { return c.Renew(idx, owner) }, 50*time.Millisecond, time.Hour); err != nil {
 							errs <- err
 							return
 						}
@@ -89,10 +90,10 @@ func TestShardedSweepCooperates(t *testing.T) {
 			}
 			merged := engine.New(4)
 			merged.SetStore(st)
-			mergedResults := merged.RunAll(g.Jobs)
+			mergedResults := merged.RunAll(context.Background(), g.Jobs)
 			var mergedTraces [][][]int // compact shape probe: (trace, core) -> record count
 			for _, tj := range g.Traces {
-				recs := merged.ExtractTraces(tj)
+				recs := merged.ExtractTraces(context.Background(), tj)
 				var shape [][]int
 				for _, core := range recs {
 					shape = append(shape, []int{len(core)})
@@ -106,12 +107,12 @@ func TestShardedSweepCooperates(t *testing.T) {
 			// And the merged results are identical to a serial, storeless
 			// run — sharding changed nothing but who computed what.
 			serial := engine.New(1)
-			serialResults := serial.RunAll(g.Jobs)
+			serialResults := serial.RunAll(context.Background(), g.Jobs)
 			if !reflect.DeepEqual(mergedResults, serialResults) {
 				t.Error("merged results diverge from a serial storeless run")
 			}
 			for ti, tj := range g.Traces {
-				recs := serial.ExtractTraces(tj)
+				recs := serial.ExtractTraces(context.Background(), tj)
 				for ci, core := range recs {
 					if mergedTraces[ti][ci][0] != len(core) {
 						t.Errorf("trace %d core %d: merged %d records, serial %d",
@@ -136,7 +137,7 @@ func TestLostLeaseAbortsRun(t *testing.T) {
 	}
 	defer st.Close()
 	renew := func() error { return fmt.Errorf("shard 0 is leased to usurper: %w", ErrLeaseLost) }
-	_, err = Run(st, g, 0, 1, 1, renew, time.Microsecond)
+	_, err = Run(context.Background(), st, g, 0, 1, 1, renew, time.Microsecond, time.Hour)
 	if err == nil || !strings.Contains(err.Error(), "lease lost") {
 		t.Fatalf("run with a taken-over lease returned %v, want a lease-lost error", err)
 	}
@@ -153,7 +154,7 @@ func TestLostLeaseAbortsRun(t *testing.T) {
 		}
 		return nil
 	}
-	if _, err := Run(st, g, 0, 1, 1, flaky, time.Microsecond); err != nil {
+	if _, err := Run(context.Background(), st, g, 0, 1, 1, flaky, time.Microsecond, time.Hour); err != nil {
 		t.Fatalf("one transient renewal failure aborted the shard: %v", err)
 	}
 }
@@ -181,7 +182,7 @@ func TestHalfFinishedShardResumes(t *testing.T) {
 	partial := engine.New(2)
 	partial.SetStore(st1)
 	done := len(half.Jobs) / 2
-	partial.RunAll(half.Jobs[:done])
+	partial.RunAll(context.Background(), half.Jobs[:done])
 	st1.Close()
 
 	// The successor takes over and finishes.
@@ -196,7 +197,7 @@ func TestHalfFinishedShardResumes(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer st2.Close()
-	rep, err := Run(st2, g, idx, 1, 2, nil, 0)
+	rep, err := Run(context.Background(), st2, g, idx, 1, 2, nil, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"testing"
 
 	"tifs/internal/core"
@@ -99,7 +100,7 @@ func TestGridHashDetectsDivergence(t *testing.T) {
 func TestRunValidatesShardSpec(t *testing.T) {
 	g := testGrid(t, 1_000)
 	for _, bad := range [][2]int{{-1, 4}, {4, 4}, {0, 0}} {
-		if _, err := Run(nil, g, bad[0], bad[1], 1, nil, 0); err == nil {
+		if _, err := Run(context.Background(), nil, g, bad[0], bad[1], 1, nil, 0, 0); err == nil {
 			t.Errorf("shard %d/%d accepted", bad[0], bad[1])
 		}
 	}

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -30,7 +31,7 @@ func (r Report) String() string {
 
 // chunkPerWorker bounds how many jobs enter the engine per batch (times
 // the parallelism), so the loop has regular points at which to notice a
-// lost lease and stop.
+// lost lease or a cancelled context and stop.
 const chunkPerWorker = 8
 
 // renewer keeps a lease alive on a timer while a shard runs. Renewal
@@ -45,19 +46,16 @@ type renewer struct {
 	err error
 }
 
-// maxRenewFailures is how many consecutive transient renewal failures a
-// worker rides out before giving the shard up. At the TTL/3 cadence,
-// three misses means the lease deadline has effectively passed anyway.
-const maxRenewFailures = 3
-
 // startRenewer renews on every interval tick until stopped. A takeover
-// (ErrLeaseLost) is latched immediately; transient failures (manifest
-// I/O on a flaky shared filesystem) are retried up to maxRenewFailures
-// consecutive ticks, honoring the TTL/3 cadence's design that a couple
-// of renewals may fail before the lease actually lapses. The latched
-// error is not fatal mid-air: the work loop checks Err at its next
-// boundary and aborts.
-func startRenewer(renew func() error, interval time.Duration) *renewer {
+// (ErrLeaseLost) is latched immediately. Transient failures (manifest
+// I/O on a flaky shared filesystem) are tolerated only while the lease
+// can still be alive: once consecutive failures span the full TTL
+// without one successful renewal, the lease has lapsed on every peer's
+// clock — takeover may already have happened — so the renewer latches a
+// lost-lease error instead of renewing forever against a dead disk. The
+// latched error is not fatal mid-air: the work loop checks Err at its
+// next boundary and aborts; everything stored so far stays stored.
+func startRenewer(renew func() error, interval, ttl time.Duration) *renewer {
 	r := &renewer{stop: make(chan struct{})}
 	if renew == nil {
 		return r
@@ -65,11 +63,15 @@ func startRenewer(renew func() error, interval time.Duration) *renewer {
 	if interval <= 0 {
 		interval = DefaultTTL / 3
 	}
+	if ttl <= 0 {
+		ttl = 3 * interval
+	}
 	r.wg.Add(1)
 	go func() {
 		defer r.wg.Done()
 		t := time.NewTicker(interval)
 		defer t.Stop()
+		lastOK := time.Now()
 		failures := 0
 		for {
 			select {
@@ -78,19 +80,21 @@ func startRenewer(renew func() error, interval time.Duration) *renewer {
 			case <-t.C:
 				err := renew()
 				if err == nil {
-					failures = 0
+					lastOK, failures = time.Now(), 0
 					continue
 				}
 				failures++
-				if !errors.Is(err, ErrLeaseLost) && failures < maxRenewFailures {
-					continue
+				elapsed := time.Since(lastOK)
+				if !errors.Is(err, ErrLeaseLost) && elapsed < ttl {
+					continue // transient, and the lease deadline still holds
 				}
 				r.mu.Lock()
 				if r.err == nil {
 					if errors.Is(err, ErrLeaseLost) {
 						r.err = fmt.Errorf("shard: lease lost: %w", err)
 					} else {
-						r.err = fmt.Errorf("shard: lease renewal failing (%d consecutive errors): %w", failures, err)
+						r.err = fmt.Errorf("shard: lease presumed lost after %d failed renewals spanning %v (TTL %v): %w",
+							failures, elapsed.Round(time.Millisecond), ttl, err)
 					}
 				}
 				r.mu.Unlock()
@@ -119,26 +123,34 @@ func (r *renewer) Stop() {
 // given parallelism, so in-process memoization and the persistent tier
 // compose exactly as they do in a single-process run.
 //
+// ctx cancellation stops the run at the next batch boundary and returns
+// ctx's error; everything finished by then is already safe in the store,
+// so a later worker (or a -merge pass) completes from where this one
+// stopped.
+//
 // renew, if non-nil, is called on a timer (renewInterval; pick a
 // fraction of the lease TTL, e.g. Coordinator.RenewInterval) for as long
 // as work runs — wire it to Coordinator.Renew to keep the shard's lease
-// alive. When renewal reports the lease lost (a peer took the shard
-// over after an expiry), Run stops at the next batch boundary and
-// returns the error; everything finished so far is already safe in the
-// store.
-func Run(st *store.Store, g Grid, index, count, parallelism int, renew func() error, renewInterval time.Duration) (rep Report, err error) {
+// alive. When renewal reports the lease lost — a peer took the shard
+// over after an expiry, or renewals kept failing for longer than ttl
+// (the Coordinator's lease TTL; 0 derives one from the interval) — Run
+// stops at the next batch boundary and returns the error.
+func Run(ctx context.Context, st *store.Store, g Grid, index, count, parallelism int, renew func() error, renewInterval, ttl time.Duration) (rep Report, err error) {
 	if count < 1 {
 		return Report{}, fmt.Errorf("shard: count %d < 1", count)
 	}
 	if index < 0 || index >= count {
 		return Report{}, fmt.Errorf("shard: index %d out of range [0,%d)", index, count)
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	sub := g.Shard(index, count)
 	rep = Report{Index: index, Count: count, Jobs: len(sub.Jobs), Traces: len(sub.Traces)}
 
 	e := engine.New(parallelism)
 	e.SetStore(st)
-	r := startRenewer(renew, renewInterval)
+	r := startRenewer(renew, renewInterval, ttl)
 	defer r.Stop()
 	// Fill the counters on every exit path (rep is a named result, so
 	// this reaches aborted returns too): an aborted shard has still done
@@ -148,25 +160,33 @@ func Run(st *store.Store, g Grid, index, count, parallelism int, renew func() er
 		rep.StoreHits = e.StoreHits()
 	}()
 
-	// Fan bounded chunks of jobs through the engine so a lost lease is
-	// noticed promptly. The engine's store tier makes every
-	// already-stored point a cheap hit, so re-running a half-finished
-	// shard only pays for what is missing.
+	// stopped reports why the loop must abandon the shard, if it must.
+	stopped := func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return r.Err()
+	}
+
+	// Fan bounded chunks of jobs through the engine so a lost lease or a
+	// cancellation is noticed promptly. The engine's store tier makes
+	// every already-stored point a cheap hit, so re-running a
+	// half-finished shard only pays for what is missing.
 	chunk := e.Parallelism() * chunkPerWorker
 	for start := 0; start < len(sub.Jobs); start += chunk {
-		if err := r.Err(); err != nil {
+		if err := stopped(); err != nil {
 			return rep, err
 		}
 		end := min(start+chunk, len(sub.Jobs))
-		e.RunAll(sub.Jobs[start:end])
+		e.RunAll(ctx, sub.Jobs[start:end])
 	}
 	for _, t := range sub.Traces {
-		if err := r.Err(); err != nil {
+		if err := stopped(); err != nil {
 			return rep, err
 		}
-		e.ExtractTraces(t)
+		e.ExtractTraces(ctx, t)
 	}
-	return rep, r.Err()
+	return rep, stopped()
 }
 
 // Missing reports which of the grid's points are absent from the store —

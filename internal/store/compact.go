@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"tifs/internal/flock"
+	"tifs/internal/vfs"
 )
 
 // CompactStats reports what a compaction pass did.
@@ -45,7 +46,12 @@ func (c CompactStats) String() string {
 // segment deletes) or with the old layout (crash before the rename).
 // Compact refuses to run while another writer holds the primary lock,
 // and skips (never deletes) segments whose writers are still alive.
-func Compact(dir string) (CompactStats, error) {
+func Compact(dir string) (CompactStats, error) { return CompactFS(dir, vfs.OS) }
+
+// CompactFS is Compact on an explicit filesystem — the fault seam that
+// lets tests kill a compaction at any exact operation and prove the
+// store reopens without record loss.
+func CompactFS(dir string, fsys vfs.FS) (CompactStats, error) {
 	var st CompactStats
 	if !flock.Supported {
 		// Without flock there is no way to prove a segment's writer is
@@ -53,12 +59,12 @@ func Compact(dir string) (CompactStats, error) {
 		return st, fmt.Errorf("store gc: this platform has no flock support, so writer liveness cannot be verified; compaction is unavailable")
 	}
 	primaryPath := filepath.Join(dir, fileName)
-	pf, err := os.OpenFile(primaryPath, os.O_RDWR|os.O_CREATE, 0o644)
+	pf, err := fsys.OpenFile(primaryPath, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return st, fmt.Errorf("store gc: %w", err)
 	}
 	defer pf.Close()
-	locked, err := flock.TryExclusive(pf)
+	locked, err := pf.TryLock()
 	if err != nil {
 		return st, fmt.Errorf("store gc: lock %s: %w", primaryPath, err)
 	}
@@ -69,9 +75,9 @@ func Compact(dir string) (CompactStats, error) {
 	// A leftover scratch file from a killed compaction is garbage by
 	// definition (the rename never happened); clear it first.
 	tmpPath := filepath.Join(dir, compactTmp)
-	os.Remove(tmpPath)
+	fsys.Remove(tmpPath)
 
-	st.BytesBefore += fileSizeOf(primaryPath)
+	st.BytesBefore += fileSizeOf(fsys, primaryPath)
 
 	// Collect every live record: primary first, then segments in name
 	// order, later records shadowing earlier ones (same rule as Open).
@@ -91,7 +97,7 @@ func Compact(dir string) (CompactStats, error) {
 		return true
 	}
 
-	primaryData, err := os.ReadFile(primaryPath)
+	primaryData, err := fsys.ReadFile(primaryPath)
 	if err != nil {
 		return st, fmt.Errorf("store gc: %w", err)
 	}
@@ -99,7 +105,7 @@ func Compact(dir string) (CompactStats, error) {
 		st.StaleDropped++ // foreign or stale primary content: rewritten below
 	}
 
-	segPaths, err := filepath.Glob(filepath.Join(dir, segPattern))
+	segPaths, err := fsys.Glob(filepath.Join(dir, segPattern))
 	if err != nil {
 		return st, fmt.Errorf("store gc: %w", err)
 	}
@@ -109,16 +115,16 @@ func Compact(dir string) (CompactStats, error) {
 	// exact file and not a namesake.
 	type mergedSeg struct {
 		path string
-		f    *os.File
+		f    vfs.File
 	}
 	var toDelete []mergedSeg
 	for _, p := range segPaths {
-		st.BytesBefore += fileSizeOf(p)
-		sf, err := os.OpenFile(p, os.O_RDWR, 0o644)
+		st.BytesBefore += fileSizeOf(fsys, p)
+		sf, err := fsys.OpenFile(p, os.O_RDWR, 0o644)
 		if err != nil {
 			continue // vanished or unreadable: nothing to merge
 		}
-		segLocked, err := flock.TryExclusive(sf)
+		segLocked, err := sf.TryLock()
 		if err != nil || !segLocked {
 			// A live writer owns this segment (or the platform cannot
 			// tell): leave it for a later pass.
@@ -150,7 +156,7 @@ func Compact(dir string) (CompactStats, error) {
 		out = appendRecord(out, key, entries[key])
 	}
 	st.Live = len(order)
-	if err := AtomicWriteFile(primaryPath, out); err != nil {
+	if err := AtomicWriteFileFS(fsys, primaryPath, out); err != nil {
 		return st, fmt.Errorf("store gc: %w", err)
 	}
 
@@ -165,16 +171,16 @@ func Compact(dir string) (CompactStats, error) {
 		if err != nil {
 			continue
 		}
-		onDisk, err := os.Stat(seg.path)
+		onDisk, err := fsys.Stat(seg.path)
 		if err != nil || !os.SameFile(merged, onDisk) {
 			continue // the name was reused; its new content was not merged
 		}
-		os.Remove(seg.path)
+		fsys.Remove(seg.path)
 	}
-	syncDir(dir)
-	st.BytesAfter = fileSizeOf(primaryPath)
+	fsys.SyncDir(dir)
+	st.BytesAfter = fileSizeOf(fsys, primaryPath)
 	for _, p := range segPaths {
-		if fi, err := os.Stat(p); err == nil {
+		if fi, err := fsys.Stat(p); err == nil {
 			st.BytesAfter += fi.Size()
 		}
 	}
@@ -182,7 +188,7 @@ func Compact(dir string) (CompactStats, error) {
 }
 
 // readAll reads a file's full content through an already-open fd.
-func readAll(f *os.File) ([]byte, error) {
+func readAll(f vfs.File) ([]byte, error) {
 	fi, err := f.Stat()
 	if err != nil {
 		return nil, err
@@ -195,21 +201,10 @@ func readAll(f *os.File) ([]byte, error) {
 	return buf[:n], nil
 }
 
-func fileSizeOf(path string) int64 {
-	fi, err := os.Stat(path)
+func fileSizeOf(fsys vfs.FS, path string) int64 {
+	fi, err := fsys.Stat(path)
 	if err != nil {
 		return 0
 	}
 	return fi.Size()
-}
-
-// syncDir best-effort fsyncs a directory so renames and deletes are
-// durable before we report success.
-func syncDir(dir string) {
-	d, err := os.Open(dir)
-	if err != nil {
-		return
-	}
-	d.Sync()
-	d.Close()
 }

@@ -1,0 +1,306 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"tifs/internal/vfs"
+)
+
+// quiet silences a store's degrade warnings and its retry sleeps so
+// fault tests run instantly and cleanly.
+func quiet(s *Store) *Store {
+	s.Logf = func(string, ...any) {}
+	s.Retry.Sleep = func(time.Duration) {}
+	return s
+}
+
+// TestFaultTransientAppendRetried: one EIO on the record append (the
+// classic flaky-NFS fault) is absorbed by the retry layer — the store
+// does not degrade and the record is durable.
+func TestFaultTransientAppendRetried(t *testing.T) {
+	dir := t.TempDir()
+	res := realResult(t)
+	// Write #1 on the primary is the header; #2 is the record append.
+	ffs := vfs.NewFault(vfs.OS, vfs.Rule{Op: vfs.OpWrite, Path: fileName, Nth: 2})
+
+	s, err := OpenFS(dir, ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet(s)
+	s.PutResult("k", res)
+	if s.Stats().ReadOnly {
+		t.Fatal("one transient append fault degraded the store")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, ok := s2.GetResult("k")
+	if !ok || !reflect.DeepEqual(got, res) {
+		t.Fatalf("record not durable after a retried transient fault (ok=%v)", ok)
+	}
+}
+
+// TestFaultENOSPCDegradesToMemory: a full disk is permanent — the store
+// latches read-only with one warning, keeps serving this process from
+// memory with correct values, and the next (healthy) run simply
+// recomputes what never reached disk.
+func TestFaultENOSPCDegradesToMemory(t *testing.T) {
+	dir := t.TempDir()
+	res := realResult(t)
+	ffs := vfs.NewFault(vfs.OS,
+		vfs.Rule{Op: vfs.OpWrite, Path: fileName, Nth: 2, Err: syscall.ENOSPC, Times: -1})
+
+	s, err := OpenFS(dir, ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warnings []string
+	s.Logf = func(format string, args ...any) { warnings = append(warnings, fmt.Sprintf(format, args...)) }
+	s.Retry.Sleep = func(time.Duration) {}
+
+	s.PutResult("k1", res)
+	if !s.Stats().ReadOnly {
+		t.Fatal("ENOSPC did not degrade the store")
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "degrading to in-memory") {
+		t.Fatalf("degrade warnings = %q, want exactly one", warnings)
+	}
+	// The run is unaffected: the entry serves from memory, and later
+	// puts stay silent (no further writes attempted, no warning spam).
+	if got, ok := s.GetResult("k1"); !ok || !reflect.DeepEqual(got, res) {
+		t.Fatal("degraded store lost this process's own entry")
+	}
+	s.PutResult("k2", res)
+	if len(warnings) != 1 {
+		t.Fatalf("second put warned again: %q", warnings)
+	}
+	if got, ok := s.GetResult("k2"); !ok || !reflect.DeepEqual(got, res) {
+		t.Fatal("degraded store dropped an in-memory put")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The next process sees a clean (if empty-ish) store: the failed
+	// records are misses to recompute, never corruption.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after degraded run: %v", err)
+	}
+	defer s2.Close()
+	if _, ok := s2.GetResult("k1"); ok {
+		t.Fatal("a record the degraded store could not write is somehow present")
+	}
+	s2.PutResult("k1", res)
+	if _, ok := s2.GetResult("k1"); !ok {
+		t.Fatal("healthy reopen cannot write")
+	}
+}
+
+// TestFaultShortWriteNeverInterleaves: a torn append retried at the same
+// offset must leave a log whose valid prefix holds every record exactly
+// once — positional writes make interleaved bytes structurally
+// impossible.
+func TestFaultShortWriteNeverInterleaves(t *testing.T) {
+	dir := t.TempDir()
+	res := realResult(t)
+	// Writes on the primary: #1 header, #2 first record, #3 second
+	// record's first (torn) attempt.
+	ffs := vfs.NewFault(vfs.OS,
+		vfs.Rule{Op: vfs.OpWrite, Path: fileName, Nth: 3, Mode: vfs.ModeShortWrite})
+
+	s, err := OpenFS(dir, ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet(s)
+	s.PutResult("k1", res)
+	s.PutResult("k2", res)
+	if s.Stats().ReadOnly {
+		t.Fatal("a retried short write degraded the store")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The log parses to its exact end — no torn garbage, no duplicate or
+	// interleaved region — and both records decode byte-correct.
+	data, err := vfs.OS.ReadFile(filepath.Join(dir, fileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, pos, ok := scanLog(data)
+	if !ok || pos != len(data) {
+		t.Fatalf("log does not parse to its end: ok=%v pos=%d len=%d", ok, pos, len(data))
+	}
+	if len(recs) != 2 {
+		t.Fatalf("log holds %d records, want 2", len(recs))
+	}
+	requireKeys(t, dir, []string{"k1", "k2"})
+}
+
+// TestFaultMatrixStoreLifecycle exhaustively injects a fault at every
+// filesystem operation of the canonical store lifecycle — once as a
+// single transient EIO, once as a hard crash — and checks the two
+// invariants no fault may break: the directory always reopens cleanly
+// on a healthy filesystem, and any record it serves is byte-identical
+// to what was put. Records may be missing after a fault (that is the
+// degrade-to-recompute contract); they may never be wrong.
+func TestFaultMatrixStoreLifecycle(t *testing.T) {
+	res := realResult(t)
+	lifecycle := func(fsys vfs.FS, dir string) (completed bool) {
+		s, err := OpenFS(dir, fsys)
+		if err != nil {
+			return false
+		}
+		quiet(s)
+		s.PutResult("k1", res)
+		s.PutResult("k2", res)
+		degraded := s.Stats().ReadOnly
+		closeErr := s.Close()
+		return !degraded && closeErr == nil
+	}
+
+	// Capture the clean operation trace once.
+	cleanDir := t.TempDir()
+	clean := vfs.NewFault(vfs.OS)
+	if !lifecycle(clean, cleanDir) {
+		t.Fatal("clean lifecycle did not complete")
+	}
+	tr := clean.Trace()
+	if len(tr) < 8 {
+		t.Fatalf("implausibly short clean trace (%d ops): the matrix would prove nothing", len(tr))
+	}
+
+	for _, inj := range []struct {
+		name string
+		mode vfs.Mode
+		err  error
+	}{
+		{"transient-eio", vfs.ModeError, syscall.EIO},
+		{"crash", vfs.ModeCrash, vfs.ErrCrashed},
+	} {
+		t.Run(inj.name, func(t *testing.T) {
+			for i, rec := range tr {
+				rule := vfs.RuleForTraceIndex(tr, i, inj.mode, inj.err)
+				// The replay runs in its own directory; match on the
+				// dir-relative suffix so the rule still lands on the same
+				// operation.
+				rule.Path = strings.TrimPrefix(rule.Path, cleanDir)
+				dir := t.TempDir()
+				completed := lifecycle(vfs.NewFault(vfs.OS, rule), dir)
+
+				// Invariant 1: a healthy filesystem always reopens the
+				// directory, whatever the fault left behind.
+				s, err := Open(dir)
+				if err != nil {
+					t.Fatalf("op %d (%v): reopen after fault failed: %v", i, rec, err)
+				}
+				// Invariant 2: anything served is byte-correct.
+				for _, key := range []string{"k1", "k2"} {
+					if got, ok := s.GetResult(key); ok && !reflect.DeepEqual(got, res) {
+						t.Errorf("op %d (%v): %s decodes to a DIFFERENT result", i, rec, key)
+					}
+				}
+				// Invariant 3: a lifecycle that reported full success must
+				// have made both records durable.
+				if completed {
+					for _, key := range []string{"k1", "k2"} {
+						if _, ok := s.GetResult(key); !ok {
+							t.Errorf("op %d (%v): lifecycle reported success but %s is not durable", i, rec, key)
+						}
+					}
+				}
+				s.Close()
+			}
+		})
+	}
+}
+
+// TestFaultCompactCrashBeforeRename: a compaction killed while building
+// the scratch file leaves the store exactly as it was — every record
+// readable, and a later compaction converges.
+func TestFaultCompactCrashBeforeRename(t *testing.T) {
+	dir := t.TempDir()
+	keys := fillSharded(t, dir, 3, 4)
+
+	ffs := vfs.NewFault(vfs.OS,
+		vfs.Rule{Op: vfs.OpWrite, Path: compactTmp, Mode: vfs.ModeCrash})
+	if _, err := CompactFS(dir, ffs); !errors.Is(err, vfs.ErrCrashed) {
+		t.Fatalf("compaction through a crashing FS returned %v, want ErrCrashed", err)
+	}
+	requireKeys(t, dir, keys)
+
+	// Convergence: the next pass (healthy FS) folds everything.
+	st, err := Compact(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Live != len(keys) {
+		t.Errorf("converged compaction kept %d records, want %d", st.Live, len(keys))
+	}
+	if segs := segmentFiles(t, dir); len(segs) != 0 {
+		t.Errorf("converged compaction left segments %v", segs)
+	}
+	requireKeys(t, dir, keys)
+}
+
+// TestFaultCompactCrashAfterRename: killed right after the new primary
+// swings into place, the merged segments survive as harmless duplicates;
+// nothing is lost and the next pass deletes them.
+func TestFaultCompactCrashAfterRename(t *testing.T) {
+	dir := t.TempDir()
+	keys := fillSharded(t, dir, 3, 4)
+	before := len(segmentFiles(t, dir))
+	if before == 0 {
+		t.Fatal("setup made no segments")
+	}
+
+	ffs := vfs.NewFault(vfs.OS,
+		vfs.Rule{Op: vfs.OpRename, Path: fileName, Mode: vfs.ModeCrashAfter})
+	CompactFS(dir, ffs) // the "process" dies somewhere after the rename
+	if !ffs.Crashed() {
+		t.Fatal("crash-after-rename rule never fired")
+	}
+	// The rename landed, the segment deletes did not: duplicates remain,
+	// records do not disappear.
+	if after := len(segmentFiles(t, dir)); after != before {
+		t.Fatalf("crash window deleted %d segments", before-after)
+	}
+	requireKeys(t, dir, keys)
+
+	st, err := Compact(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Live != len(keys) {
+		t.Errorf("converged compaction kept %d records, want %d", st.Live, len(keys))
+	}
+	if segs := segmentFiles(t, dir); len(segs) != 0 {
+		t.Errorf("converged compaction left segments %v", segs)
+	}
+	requireKeys(t, dir, keys)
+}
+
+// TestFaultOpenOnCrashedFS: a store whose very open faces a dead
+// filesystem reports a clean error, never a partial store.
+func TestFaultOpenOnCrashedFS(t *testing.T) {
+	ffs := vfs.NewFault(vfs.OS, vfs.Rule{Op: vfs.OpMkdir, Mode: vfs.ModeCrash})
+	if _, err := OpenFS(t.TempDir(), ffs); !errors.Is(err, vfs.ErrCrashed) {
+		t.Fatalf("open on a crashed FS returned %v, want ErrCrashed", err)
+	}
+}

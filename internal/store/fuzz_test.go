@@ -1,8 +1,10 @@
 package store
 
 import (
+	"path/filepath"
 	"reflect"
 	"testing"
+	"time"
 
 	"tifs/internal/core"
 	"tifs/internal/cpu"
@@ -10,6 +12,7 @@ import (
 	"tifs/internal/sim"
 	"tifs/internal/trace"
 	"tifs/internal/uncore"
+	"tifs/internal/vfs"
 )
 
 // syntheticResult builds a Result with every field populated without
@@ -33,6 +36,40 @@ func syntheticResult() sim.Result {
 		r.Traffic.SetCount(uncore.TrafficKind(k), uint64(100+k))
 	}
 	return r
+}
+
+// tornLogImage builds a log image through the fault layer in the state
+// a crash or full disk actually leaves behind: the second record's
+// append stops half way AND the writer's cleanup truncate fails, so the
+// torn bytes stay in the file. Real injected wreckage makes a richer
+// fuzz seed than hand-truncated images.
+func tornLogImage(f *testing.F) []byte {
+	f.Helper()
+	dir := f.TempDir()
+	ffs := vfs.NewFault(vfs.OS,
+		// Write #1 is the header, #2 the first record; every append from
+		// #3 on is torn. Truncate #1 initializes the fresh file at open;
+		// the cleanup truncates after it are the ones that must fail.
+		vfs.Rule{Op: vfs.OpWrite, Path: fileName, Nth: 3, Times: -1, Mode: vfs.ModeShortWrite},
+		vfs.Rule{Op: vfs.OpTruncate, Path: fileName, Nth: 2, Times: -1},
+	)
+	s, err := OpenFS(dir, ffs)
+	if err != nil {
+		f.Fatal(err)
+	}
+	s.Logf = func(string, ...any) {}
+	s.Retry.Sleep = func(time.Duration) {}
+	s.PutResult("whole", syntheticResult())
+	s.PutResult("torn", syntheticResult())
+	s.Close()
+	data, err := vfs.OS.ReadFile(filepath.Join(dir, fileName))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(data) <= headerLen {
+		f.Fatal("torn-write seed generation produced no record bytes")
+	}
+	return data
 }
 
 // FuzzStoreCodec throws arbitrary bytes at every store decoder. The
@@ -64,6 +101,7 @@ func FuzzStoreCodec(f *testing.F) {
 	f.Add(staled)
 	f.Add([]byte{})
 	f.Add([]byte("TIFSTORE"))
+	f.Add(tornLogImage(f)) // whole record + fault-injected torn append
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if r, err := decodeResult(data); err == nil {

@@ -35,14 +35,25 @@
 // Compact folds every live record back into the primary and deletes
 // them; see compact.go.
 //
-// The store is defensive in exactly one direction: any mismatch —
-// truncated tail, bad CRC, undecodable payload, stale format version —
-// degrades to a cache miss and the caller re-simulates. A bumped
-// FormatVersion discards stale files on open (the primary is re-headed
-// by its lock holder; stale segments are ignored and reclaimed by
-// Compact). Results can be stale only if the simulator's semantics
-// change without a version bump; bump FormatVersion in the same change
-// that alters any simulated number.
+// # Failure model
+//
+// All I/O goes through internal/vfs, so every error path here is
+// reachable deterministically in tests. The store is defensive in
+// exactly one direction: no fault may ever produce wrong numbers.
+//
+//   - Read-side damage — truncated tail, bad CRC, undecodable payload,
+//     stale format version — degrades to a cache miss and the caller
+//     re-simulates. A bumped FormatVersion discards stale files on open.
+//   - Write-side faults are classified by internal/retry: transient ones
+//     (EIO on a flaky NFS mount, EINTR, a torn short write) are retried
+//     at the same offset under capped backoff; a permanent one (ENOSPC,
+//     EROFS) degrades the store to read-only, in-memory operation with a
+//     logged warning — the run completes correctly, this process keeps
+//     its memo, and only persistence is lost.
+//
+// Results can be stale only if the simulator's semantics change without
+// a version bump; bump FormatVersion in the same change that alters any
+// simulated number.
 package store
 
 import (
@@ -51,6 +62,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -58,9 +70,10 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"tifs/internal/flock"
+	"tifs/internal/retry"
 	"tifs/internal/sim"
 	"tifs/internal/trace"
+	"tifs/internal/vfs"
 )
 
 // FormatVersion identifies the store layout AND the simulator semantics
@@ -110,6 +123,11 @@ type Stats struct {
 	// Primary reports whether this Store holds the primary log's write
 	// lock; false means appends go to an owned segment file.
 	Primary bool
+	// ReadOnly reports that a permanent write failure (disk full,
+	// read-only media) degraded the store to in-memory operation:
+	// lookups and this process's memo still work, but nothing more
+	// persists and the next run recomputes whatever never reached disk.
+	ReadOnly bool
 }
 
 // String renders a one-line summary.
@@ -119,6 +137,9 @@ func (s Stats) String() string {
 	if !s.Primary {
 		out += fmt.Sprintf(" (segment writer, %d segments)", s.Segments)
 	}
+	if s.ReadOnly {
+		out += " (degraded: in-memory only)"
+	}
 	return out
 }
 
@@ -127,39 +148,61 @@ func (s Stats) String() string {
 // others — may share one directory: each writes its own flock-guarded
 // log file and reads everything present at Open.
 type Store struct {
+	fsys vfs.FS
+	// Retry is the backoff policy for transient append failures. Set
+	// it before the first Put; the default retries ~4 times over tens
+	// of milliseconds.
+	Retry retry.Policy
+	// Logf receives degradation warnings (default: standard error).
+	// Set it before concurrent use begins.
+	Logf func(format string, args ...any)
+
 	mu        sync.Mutex
-	f         *os.File // owned write log (primary or segment)
+	f         vfs.File // owned write log (primary or segment)
 	path      string   // primary log path
 	writePath string   // path of f
 	primary   bool     // f is the primary log
 	segments  int      // segment files seen at Open
+	off       int64    // end of the valid, durable prefix of f
 	entries   map[[sha256.Size]byte][]byte
-	// writeFailed latches after a failed or short append. Later appends
-	// would land after the torn bytes and be discarded wholesale by the
-	// next load's truncation, so once a write fails the log is frozen:
-	// entries keep serving this process from memory and the next process
-	// re-simulates only what never reached disk.
-	writeFailed bool
+	// readOnly latches after a permanent (or retry-exhausted) append
+	// failure: entries keep serving this process from memory, nothing
+	// further is written, and the next process re-simulates only what
+	// never reached disk. The valid prefix of the log stays intact —
+	// appends are positional (WriteAt at off), so a failed append can
+	// never tear bytes into earlier records.
+	readOnly bool
+	closed   bool
 
 	hits, misses, puts atomic.Uint64
 }
 
-// Open opens (creating if needed) the store in dir. A file written by a
-// different FormatVersion, or with a corrupt tail, contributes nothing —
-// stale or damaged state can only cause cache misses, never wrong
-// results. The first opener becomes the primary writer; concurrent
-// openers append to private segment files (see the package comment).
-func Open(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// Open opens (creating if needed) the store in dir on the real
+// filesystem. See OpenFS.
+func Open(dir string) (*Store, error) { return OpenFS(dir, vfs.OS) }
+
+// OpenFS opens the store in dir on an explicit filesystem — the fault
+// seam for tests. A file written by a different FormatVersion, or with
+// a corrupt tail, contributes nothing — stale or damaged state can only
+// cause cache misses, never wrong results. The first opener becomes the
+// primary writer; concurrent openers append to private segment files
+// (see the package comment).
+func OpenFS(dir string, fsys vfs.FS) (*Store, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	path := filepath.Join(dir, fileName)
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{path: path, entries: map[[sha256.Size]byte][]byte{}}
-	locked, err := flock.TryExclusive(f)
+	s := &Store{
+		fsys:    fsys,
+		Logf:    func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+		path:    path,
+		entries: map[[sha256.Size]byte][]byte{},
+	}
+	locked, err := f.TryLock()
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("store: lock %s: %w", path, err)
@@ -176,7 +219,7 @@ func Open(dir string) (*Store, error) {
 		// Someone else is writing the primary. Read its valid prefix and
 		// claim a private segment for our own appends. Never truncate or
 		// re-head a file another writer owns.
-		data, err := os.ReadFile(path)
+		data, err := s.readFileRetry(path)
 		f.Close()
 		if err != nil {
 			return nil, fmt.Errorf("store: %w", err)
@@ -197,6 +240,15 @@ func Open(dir string) (*Store, error) {
 	return s, nil
 }
 
+// readFileRetry reads a whole file, riding out transient faults.
+func (s *Store) readFileRetry(path string) (data []byte, err error) {
+	err = s.Retry.Do(func() error {
+		data, err = s.fsys.ReadFile(path)
+		return err
+	})
+	return data, err
+}
+
 // Path returns the primary log file location.
 func (s *Store) Path() string { return s.path }
 
@@ -208,6 +260,7 @@ func (s *Store) WritePath() string { return s.writePath }
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	n := len(s.entries)
+	ro := s.readOnly
 	s.mu.Unlock()
 	return Stats{
 		Hits:     s.hits.Load(),
@@ -216,6 +269,7 @@ func (s *Store) Stats() Stats {
 		Entries:  n,
 		Segments: s.segments,
 		Primary:  s.primary,
+		ReadOnly: ro,
 	}
 }
 
@@ -227,14 +281,18 @@ func (s *Store) Stats() Stats {
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	removeEmpty := !s.primary && !s.writeFailed
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	removeEmpty := !s.primary && !s.readOnly
 	if removeEmpty {
 		if fi, err := s.f.Stat(); err != nil || fi.Size() > int64(headerLen) {
 			removeEmpty = false
 		}
 	}
 	if removeEmpty {
-		os.Remove(s.writePath)
+		s.fsys.Remove(s.writePath)
 	}
 	return s.f.Close()
 }
@@ -242,7 +300,7 @@ func (s *Store) Close() error {
 // loadPrimary reads the primary log (whose lock we hold), keeps its
 // valid prefix in memory, and truncates anything unreadable beyond it.
 func (s *Store) loadPrimary() error {
-	data, err := os.ReadFile(s.path)
+	data, err := s.readFileRetry(s.path)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -256,7 +314,8 @@ func (s *Store) loadPrimary() error {
 		if _, err := s.f.WriteAt(header(), 0); err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
-		return s.seekEnd(int64(headerLen))
+		s.off = int64(headerLen)
+		return nil
 	}
 	for _, r := range recs {
 		s.entries[r.key] = r.payload
@@ -266,7 +325,8 @@ func (s *Store) loadPrimary() error {
 			return fmt.Errorf("store: %w", err)
 		}
 	}
-	return s.seekEnd(int64(pos))
+	s.off = int64(pos)
+	return nil
 }
 
 // claimSegment creates a fresh per-writer segment log. O_EXCL makes the
@@ -276,22 +336,24 @@ func (s *Store) loadPrimary() error {
 func (s *Store) claimSegment(dir string) error {
 	for k := 1; k < 1<<20; k++ {
 		p := filepath.Join(dir, fmt.Sprintf("seg-%05d.tifs", k))
-		f, err := os.OpenFile(p, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+		f, err := s.fsys.OpenFile(p, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 		if errors.Is(err, fs.ErrExist) {
 			continue
 		}
 		if err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
-		if _, err := flock.TryExclusive(f); err != nil {
+		if _, err := f.TryLock(); err != nil {
 			f.Close()
 			return fmt.Errorf("store: lock %s: %w", p, err)
 		}
-		if _, err := f.Write(header()); err != nil {
+		if _, err := f.WriteAt(header(), 0); err != nil {
 			f.Close()
+			s.fsys.Remove(p)
 			return fmt.Errorf("store: %w", err)
 		}
 		s.f, s.writePath, s.primary = f, p, false
+		s.off = int64(headerLen)
 		return nil
 	}
 	return fmt.Errorf("store: no free segment slots in %s", dir)
@@ -302,7 +364,7 @@ func (s *Store) claimSegment(dir string) error {
 // shadow earlier records with the same address; results are
 // deterministic in their key, so shadowing can never change a value.
 func (s *Store) loadSegments(dir string) error {
-	paths, err := filepath.Glob(filepath.Join(dir, segPattern))
+	paths, err := s.fsys.Glob(filepath.Join(dir, segPattern))
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -312,10 +374,11 @@ func (s *Store) loadSegments(dir string) error {
 			continue
 		}
 		s.segments++
-		data, err := os.ReadFile(p)
+		data, err := s.fsys.ReadFile(p)
 		if err != nil {
 			// A segment deleted by a concurrent compaction (its records
-			// now live in the primary) or otherwise unreadable: skip.
+			// now live in the primary) or otherwise unreadable: skip —
+			// worst case its grid points are recomputed.
 			continue
 		}
 		recs, _, ok := scanLog(data)
@@ -325,13 +388,6 @@ func (s *Store) loadSegments(dir string) error {
 		for _, r := range recs {
 			s.entries[r.key] = r.payload
 		}
-	}
-	return nil
-}
-
-func (s *Store) seekEnd(off int64) error {
-	if _, err := s.f.Seek(off, 0); err != nil {
-		return fmt.Errorf("store: %w", err)
 	}
 	return nil
 }
@@ -431,9 +487,39 @@ func (s *Store) drop(kind byte, key string) {
 	s.mu.Unlock()
 }
 
-// put appends a record to the owned log and indexes it. Write errors
-// (disk full, read-only media) disable nothing: the entry still lands in
-// memory and the next process simply re-simulates.
+// appendLocked writes rec at the end of the owned log (s.mu held).
+// Appends are positional: every attempt lands at exactly s.off, so a
+// torn attempt is overwritten in place by its own retry and can never
+// interleave with earlier records. Transient faults retry under the
+// store's backoff policy; the final error is returned for the caller to
+// degrade on.
+func (s *Store) appendLocked(rec []byte) error {
+	err := s.Retry.Do(func() error {
+		n, werr := s.f.WriteAt(rec, s.off)
+		if werr == nil && n == len(rec) {
+			return nil
+		}
+		if werr == nil {
+			werr = io.ErrShortWrite
+		}
+		// Cut any torn bytes back to the valid prefix, best-effort: the
+		// CRC framing already protects readers, and the retry rewrites
+		// the same region anyway.
+		s.f.Truncate(s.off)
+		return werr
+	})
+	if err != nil {
+		return err
+	}
+	s.off += int64(len(rec))
+	return nil
+}
+
+// put appends a record to the owned log and indexes it. Transient write
+// faults are retried; a permanent failure (disk full, read-only media)
+// degrades the store to in-memory operation with a logged warning — the
+// entry still lands in memory, this run's numbers are unaffected, and
+// the next process re-simulates what never reached disk.
 func (s *Store) put(kind byte, key string, payload []byte) {
 	addr := address(kind, key)
 	rec := appendRecord(make([]byte, 0, sha256.Size+binary.MaxVarintLen64+len(payload)+4), addr, payload)
@@ -445,11 +531,12 @@ func (s *Store) put(kind byte, key string, payload []byte) {
 	}
 	s.entries[addr] = payload
 	s.puts.Add(1)
-	if s.writeFailed {
+	if s.readOnly || s.closed {
 		return
 	}
-	if n, err := s.f.Write(rec); err != nil || n != len(rec) {
-		s.writeFailed = true
+	if err := s.appendLocked(rec); err != nil {
+		s.readOnly = true
+		s.Logf("store: append to %s failed (%v); degrading to in-memory operation — this run is unaffected, but results cached from here on will be recomputed by the next run", s.writePath, err)
 	}
 }
 

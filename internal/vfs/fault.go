@@ -1,0 +1,370 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// Op names one filesystem operation class for fault matching. File-level
+// operations (write, sync, ...) carry the path of the file they were
+// opened with.
+type Op string
+
+const (
+	OpOpen     Op = "open"
+	OpReadFile Op = "readfile"
+	OpRename   Op = "rename"
+	OpRemove   Op = "remove"
+	OpMkdir    Op = "mkdir"
+	OpStat     Op = "stat"
+	OpGlob     Op = "glob"
+	OpSyncDir  Op = "syncdir"
+	OpRead     Op = "read"
+	OpWrite    Op = "write"
+	OpTruncate Op = "truncate"
+	OpSync     Op = "sync"
+	OpClose    Op = "close"
+	OpLock     Op = "lock"
+)
+
+// Mode selects what a matched rule does to the operation.
+type Mode int
+
+const (
+	// ModeError fails the operation with the rule's error; the
+	// operation has no effect on the underlying filesystem.
+	ModeError Mode = iota
+	// ModeShortWrite applies only to writes: half the buffer reaches
+	// the underlying file, then the rule's error is returned — a torn
+	// write, the shape a crash or full disk tears an append into.
+	ModeShortWrite
+	// ModeCrash fails the operation AND every operation after it with
+	// ErrCrashed, simulating a process kill at this exact point: the
+	// matched operation never happens.
+	ModeCrash
+	// ModeCrashAfter lets the operation complete, then fails every
+	// subsequent operation with ErrCrashed — a kill immediately after
+	// this operation's effect reached the filesystem.
+	ModeCrashAfter
+)
+
+// ErrCrashed is returned by every operation after a ModeCrash or
+// ModeCrashAfter rule fires. It is not an Errno, so the retry layer
+// classifies it as permanent: an in-process "crashed" filesystem never
+// heals.
+var ErrCrashed = errors.New("vfs: simulated crash")
+
+// ErrInjected is the default injected failure (wrapping syscall.EIO via
+// Rule.Err defaulting); kept for readability in tests.
+var ErrInjected = syscall.EIO
+
+// Rule arms one fault: the Nth operation matching (Op, Path substring)
+// is failed according to Mode. Rules are deterministic — the same
+// operation sequence always trips the same rule at the same point —
+// which is what makes an injected failure reproducible from an op
+// trace (see Trace and RuleForTraceIndex).
+type Rule struct {
+	// Op is the operation class to match.
+	Op Op
+	// Path, when non-empty, must be a substring of the operation's
+	// path for the rule to match.
+	Path string
+	// Nth is the 1-based index among *matching* operations at which
+	// the rule fires; 0 means the first match.
+	Nth int
+	// Mode is what happens when the rule fires (default ModeError).
+	Mode Mode
+	// Err is the error injected (default syscall.EIO). Use
+	// syscall.ENOSPC to model a full disk — the retry layer treats it
+	// as permanent.
+	Err error
+	// Times is how many consecutive matches fire after the Nth (0
+	// means exactly one; negative means every match from the Nth on).
+	Times int
+}
+
+func (r Rule) String() string {
+	return fmt.Sprintf("rule{%s %q nth=%d mode=%d times=%d err=%v}", r.Op, r.Path, r.Nth, r.Mode, r.Times, r.Err)
+}
+
+// OpRecord is one entry of a Fault's operation trace.
+type OpRecord struct {
+	Op   Op
+	Path string
+}
+
+func (o OpRecord) String() string { return string(o.Op) + " " + o.Path }
+
+// Fault is a fault-injecting FS wrapping another FS (normally OS). It
+// records every operation (Trace) and fails the ones its rules match.
+// A Fault is safe for concurrent use.
+type Fault struct {
+	inner FS
+
+	mu      sync.Mutex
+	rules   []*ruleState
+	trace   []OpRecord
+	crashed bool
+}
+
+type ruleState struct {
+	Rule
+	seen  int // matching ops observed so far
+	fired int // times the rule has fired
+}
+
+// NewFault wraps inner with the given rules armed.
+func NewFault(inner FS, rules ...Rule) *Fault {
+	f := &Fault{inner: inner}
+	for _, r := range rules {
+		f.AddRule(r)
+	}
+	return f
+}
+
+// AddRule arms another rule. Matching counts start at the moment the
+// rule is added, so rules added mid-run fire relative to future
+// operations only.
+func (f *Fault) AddRule(r Rule) {
+	if r.Nth <= 0 {
+		r.Nth = 1
+	}
+	if r.Err == nil {
+		r.Err = ErrInjected
+	}
+	f.mu.Lock()
+	f.rules = append(f.rules, &ruleState{Rule: r})
+	f.mu.Unlock()
+}
+
+// Trace returns the operations observed so far, in order. Replaying the
+// same workload against a fresh Fault yields the same trace, so a trace
+// index identifies an injection point deterministically.
+func (f *Fault) Trace() []OpRecord {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]OpRecord(nil), f.trace...)
+}
+
+// Crashed reports whether a crash rule has fired: every subsequent
+// operation fails with ErrCrashed.
+func (f *Fault) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// RuleForTraceIndex converts entry i of a previously captured trace
+// into a rule that fires at exactly that operation when the same
+// workload is replayed — the reproduction half of deterministic fault
+// injection. Fault-matrix tests capture one clean trace, then replay
+// the workload once per index with the derived rule armed.
+func RuleForTraceIndex(trace []OpRecord, i int, mode Mode, err error) Rule {
+	nth := 0
+	for j := 0; j <= i && j < len(trace); j++ {
+		if trace[j].Op == trace[i].Op && trace[j].Path == trace[i].Path {
+			nth++
+		}
+	}
+	return Rule{Op: trace[i].Op, Path: trace[i].Path, Nth: nth, Mode: mode, Err: err}
+}
+
+// firing describes what a matched rule does to the current operation.
+type firing struct {
+	mode Mode
+	err  error
+}
+
+// check records the operation and consults the rules. It returns a
+// non-nil firing when a rule matched. For ModeCrashAfter the crash flag
+// is set but the firing's err is nil: the operation proceeds.
+func (f *Fault) check(op Op, path string) *firing {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.trace = append(f.trace, OpRecord{Op: op, Path: path})
+	if f.crashed {
+		return &firing{mode: ModeCrash, err: ErrCrashed}
+	}
+	for _, r := range f.rules {
+		if r.Op != op {
+			continue
+		}
+		if r.Path != "" && !containsPath(path, r.Path) {
+			continue
+		}
+		r.seen++
+		if r.seen < r.Nth {
+			continue
+		}
+		if r.Times >= 0 && r.fired > r.Times {
+			continue // fired its Times+1 allotted matches already
+		}
+		r.fired++
+		switch r.Mode {
+		case ModeCrash:
+			f.crashed = true
+			return &firing{mode: ModeCrash, err: ErrCrashed}
+		case ModeCrashAfter:
+			f.crashed = true
+			return &firing{mode: ModeCrashAfter}
+		default:
+			return &firing{mode: r.Mode, err: r.Err}
+		}
+	}
+	return nil
+}
+
+func containsPath(path, sub string) bool { return strings.Contains(path, sub) }
+
+func (f *Fault) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if fr := f.check(OpOpen, name); fr != nil && fr.err != nil {
+		return nil, fr.err
+	}
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fault: f, inner: file, path: name}, nil
+}
+
+func (f *Fault) ReadFile(name string) ([]byte, error) {
+	if fr := f.check(OpReadFile, name); fr != nil && fr.err != nil {
+		return nil, fr.err
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *Fault) Rename(oldpath, newpath string) error {
+	if fr := f.check(OpRename, newpath); fr != nil && fr.err != nil {
+		return fr.err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *Fault) Remove(name string) error {
+	if fr := f.check(OpRemove, name); fr != nil && fr.err != nil {
+		return fr.err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *Fault) MkdirAll(dir string, perm os.FileMode) error {
+	if fr := f.check(OpMkdir, dir); fr != nil && fr.err != nil {
+		return fr.err
+	}
+	return f.inner.MkdirAll(dir, perm)
+}
+
+func (f *Fault) Stat(name string) (os.FileInfo, error) {
+	if fr := f.check(OpStat, name); fr != nil && fr.err != nil {
+		return nil, fr.err
+	}
+	return f.inner.Stat(name)
+}
+
+func (f *Fault) Glob(pattern string) ([]string, error) {
+	if fr := f.check(OpGlob, pattern); fr != nil && fr.err != nil {
+		return nil, fr.err
+	}
+	return f.inner.Glob(pattern)
+}
+
+func (f *Fault) SyncDir(dir string) error {
+	if fr := f.check(OpSyncDir, dir); fr != nil && fr.err != nil {
+		return fr.err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile applies file-level rules, keyed by the path the file was
+// opened with.
+type faultFile struct {
+	fault *Fault
+	inner File
+	path  string
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if fr := f.fault.check(OpRead, f.path); fr != nil && fr.err != nil {
+		return 0, fr.err
+	}
+	return f.inner.ReadAt(p, off)
+}
+
+func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	if fr := f.fault.check(OpWrite, f.path); fr != nil {
+		switch fr.mode {
+		case ModeShortWrite:
+			// Half the buffer reaches the file, then the failure: the
+			// torn-append shape every log writer must survive.
+			n, err := f.inner.WriteAt(p[:len(p)/2], off)
+			if err == nil {
+				err = fr.err
+			}
+			return n, err
+		case ModeCrashAfter:
+			n, err := f.inner.WriteAt(p, off)
+			return n, err
+		default:
+			return 0, fr.err
+		}
+	}
+	return f.inner.WriteAt(p, off)
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if fr := f.fault.check(OpTruncate, f.path); fr != nil && fr.err != nil {
+		return fr.err
+	}
+	return f.inner.Truncate(size)
+}
+
+func (f *faultFile) Sync() error {
+	if fr := f.fault.check(OpSync, f.path); fr != nil && fr.err != nil {
+		return fr.err
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Stat() (os.FileInfo, error) {
+	if fr := f.fault.check(OpStat, f.path); fr != nil && fr.err != nil {
+		return nil, fr.err
+	}
+	return f.inner.Stat()
+}
+
+func (f *faultFile) Name() string { return f.inner.Name() }
+
+func (f *faultFile) Close() error {
+	if fr := f.fault.check(OpClose, f.path); fr != nil && fr.err != nil {
+		// The underlying descriptor still closes — an injected close
+		// failure models a lost flush, not a leaked fd.
+		f.inner.Close()
+		return fr.err
+	}
+	return f.inner.Close()
+}
+
+func (f *faultFile) TryLock() (bool, error) {
+	if fr := f.fault.check(OpLock, f.path); fr != nil && fr.err != nil {
+		return false, fr.err
+	}
+	return f.inner.TryLock()
+}
+
+func (f *faultFile) Lock() error {
+	if fr := f.fault.check(OpLock, f.path); fr != nil && fr.err != nil {
+		return fr.err
+	}
+	return f.inner.Lock()
+}
+
+func (f *faultFile) Unlock() error {
+	// Unlock is never injected: a real kill releases flocks with the
+	// process, so there is no failure mode to model.
+	return f.inner.Unlock()
+}

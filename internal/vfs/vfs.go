@@ -1,0 +1,103 @@
+// Package vfs is the narrow filesystem seam beneath the persistence and
+// coordination stack (internal/store, internal/shard). Everything those
+// packages do to disk — open, append, fsync, atomic rename, lock —
+// passes through the FS and File interfaces, so a test can swap the
+// passthrough OS implementation for the deterministic fault-injecting
+// one (fault.go) and drive every I/O error path that a real deployment
+// would only hit under torn writes, full disks, or mid-operation kills.
+//
+// The interface is deliberately small: exactly the operations the store
+// and shard layers use, nothing speculative. File locking is part of
+// File (TryLock/Lock/Unlock) rather than a separate package call so
+// that lock acquisition is injectable like any other operation; the OS
+// implementation delegates to internal/flock.
+package vfs
+
+import (
+	"os"
+	"path/filepath"
+
+	"tifs/internal/flock"
+)
+
+// FS is the filesystem surface the store and shard layers run on.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// ReadFile returns the full content of name.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove unlinks name.
+	Remove(name string) error
+	// MkdirAll creates dir and its parents.
+	MkdirAll(dir string, perm os.FileMode) error
+	// Stat stats name without opening it.
+	Stat(name string) (os.FileInfo, error)
+	// Glob matches pattern with filepath.Glob semantics.
+	Glob(pattern string) ([]string, error)
+	// SyncDir fsyncs a directory, making renames and unlinks in it
+	// durable. Implementations may treat failure as best-effort.
+	SyncDir(dir string) error
+}
+
+// File is one open file. The write surface is positional (WriteAt with
+// caller-tracked offsets) rather than streaming, so a failed or short
+// write can be retried at exactly the same offset without any hidden
+// file-position state.
+type File interface {
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	Truncate(size int64) error
+	Sync() error
+	Stat() (os.FileInfo, error)
+	Name() string
+	Close() error
+
+	// TryLock attempts a non-blocking exclusive lock (flock semantics:
+	// held by the open file description, released on Close). It reports
+	// false when another open description holds the lock, or when the
+	// platform has no flock support.
+	TryLock() (bool, error)
+	// Lock blocks until it holds the exclusive lock.
+	Lock() error
+	// Unlock releases a held lock.
+	Unlock() error
+}
+
+// OS is the passthrough filesystem used outside tests.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error)        { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error        { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                    { return os.Remove(name) }
+func (osFS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+func (osFS) Stat(name string) (os.FileInfo, error)       { return os.Stat(name) }
+func (osFS) Glob(pattern string) ([]string, error)       { return filepath.Glob(pattern) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+type osFile struct {
+	*os.File
+}
+
+func (f osFile) TryLock() (bool, error) { return flock.TryExclusive(f.File) }
+func (f osFile) Lock() error            { return flock.Exclusive(f.File) }
+func (f osFile) Unlock() error          { return flock.Unlock(f.File) }

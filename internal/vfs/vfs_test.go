@@ -1,0 +1,214 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// writeThrough opens path on fsys and writes data at offset 0,
+// returning the write error (open errors fail the test).
+func writeThrough(t *testing.T, fsys FS, path string, data []byte) error {
+	t.Helper()
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	defer f.Close()
+	_, werr := f.WriteAt(data, 0)
+	return werr
+}
+
+func TestOSPassthroughRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.txt")
+	if err := writeThrough(t, OS, path, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := OS.ReadFile(path)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+	if err := OS.Rename(path, filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OS.Stat(filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := OS.Glob(filepath.Join(dir, "*.txt"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("glob: %v %v", matches, err)
+	}
+	if err := OS.SyncDir(dir); err != nil {
+		t.Fatalf("syncdir: %v", err)
+	}
+}
+
+func TestFaultNthMatchingOp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log")
+	fsys := NewFault(OS, Rule{Op: OpWrite, Path: "log", Nth: 2})
+
+	if err := writeThrough(t, fsys, path, []byte("one")); err != nil {
+		t.Fatalf("first write should pass: %v", err)
+	}
+	if err := writeThrough(t, fsys, path, []byte("two")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second write should fail with the injected error, got %v", err)
+	}
+	if err := writeThrough(t, fsys, path, []byte("three")); err != nil {
+		t.Fatalf("third write should pass (Times=0 fires once): %v", err)
+	}
+}
+
+func TestFaultPathFilterAndTimes(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFault(OS, Rule{Op: OpWrite, Path: "target", Times: 1})
+
+	if err := writeThrough(t, fsys, filepath.Join(dir, "other"), []byte("x")); err != nil {
+		t.Fatalf("non-matching path failed: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := writeThrough(t, fsys, filepath.Join(dir, "target"), []byte("x")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("matching write %d should fail, got %v", i, err)
+		}
+	}
+	if err := writeThrough(t, fsys, filepath.Join(dir, "target"), []byte("x")); err != nil {
+		t.Fatalf("write after Times+1 firings should pass: %v", err)
+	}
+}
+
+func TestFaultUnlimitedTimes(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFault(OS, Rule{Op: OpWrite, Times: -1, Err: syscall.ENOSPC})
+	for i := 0; i < 5; i++ {
+		if err := writeThrough(t, fsys, filepath.Join(dir, "f"), []byte("x")); !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("write %d: got %v, want ENOSPC forever", i, err)
+		}
+	}
+}
+
+func TestFaultShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn")
+	fsys := NewFault(OS, Rule{Op: OpWrite, Mode: ModeShortWrite})
+
+	err := writeThrough(t, fsys, path, []byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write should surface the injected error, got %v", err)
+	}
+	data, _ := os.ReadFile(path)
+	if string(data) != "01234" {
+		t.Fatalf("torn write left %q on disk, want the first half %q", data, "01234")
+	}
+}
+
+func TestFaultCrashModes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+
+	// ModeCrash: the matched op never happens, everything after fails.
+	fsys := NewFault(OS, Rule{Op: OpWrite, Mode: ModeCrash})
+	if err := writeThrough(t, fsys, path, []byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crashed write: %v", err)
+	}
+	if !fsys.Crashed() {
+		t.Fatal("Crashed() false after a crash rule fired")
+	}
+	if _, err := fsys.ReadFile(path); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash op should fail with ErrCrashed, got %v", err)
+	}
+	if data, _ := os.ReadFile(path); len(data) != 0 {
+		t.Fatalf("ModeCrash leaked %q to disk", data)
+	}
+
+	// ModeCrashAfter: the matched op completes, everything after fails.
+	fsys = NewFault(OS, Rule{Op: OpWrite, Mode: ModeCrashAfter})
+	if err := writeThrough(t, fsys, path, []byte("x")); err != nil {
+		t.Fatalf("crash-after write should succeed: %v", err)
+	}
+	if data, _ := os.ReadFile(path); string(data) != "x" {
+		t.Fatalf("ModeCrashAfter lost the write: %q", data)
+	}
+	if _, err := fsys.ReadFile(path); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash-after op should fail, got %v", err)
+	}
+}
+
+// TestFaultTraceReplay is the reproduction contract: capture a clean
+// trace, convert any index to a rule with RuleForTraceIndex, and the
+// replayed workload fails at exactly that operation.
+func TestFaultTraceReplay(t *testing.T) {
+	workload := func(fsys FS, dir string) []error {
+		var errs []error
+		errs = append(errs, writeThrough(t, fsys, filepath.Join(dir, "a"), []byte("1")))
+		errs = append(errs, writeThrough(t, fsys, filepath.Join(dir, "a"), []byte("2")))
+		errs = append(errs, writeThrough(t, fsys, filepath.Join(dir, "b"), []byte("3")))
+		return errs
+	}
+
+	// Clean capture and fault replay must see identical paths, so both
+	// run in the same directory (the workload's writes are idempotent).
+	dir := t.TempDir()
+	clean := NewFault(OS)
+	workload(clean, dir)
+	tr := clean.Trace()
+	if len(tr) == 0 {
+		t.Fatal("empty trace")
+	}
+
+	// Find the second write to file "a" in the trace and replay with a
+	// fault armed there: write #1 must pass, write #2 must fail.
+	idx := -1
+	seen := 0
+	for i, rec := range tr {
+		if rec.Op == OpWrite && filepath.Base(rec.Path) == "a" {
+			seen++
+			if seen == 2 {
+				idx = i
+				break
+			}
+		}
+	}
+	if idx < 0 {
+		t.Fatal("trace missing the second write to a")
+	}
+	rule := RuleForTraceIndex(tr, idx, ModeError, syscall.EIO)
+	if rule.Nth != 2 {
+		t.Fatalf("derived rule Nth=%d, want 2 (second matching op)", rule.Nth)
+	}
+	replay := NewFault(OS, rule)
+	errs := workload(replay, dir)
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("unrelated ops failed: %v", errs)
+	}
+	if !errors.Is(errs[1], syscall.EIO) {
+		t.Fatalf("targeted op returned %v, want EIO", errs[1])
+	}
+	// Determinism: the replay's trace prefix matches the original.
+	rt := replay.Trace()
+	for i := 0; i <= idx; i++ {
+		if rt[i] != tr[i] {
+			t.Fatalf("trace diverged at %d: %v vs %v", i, rt[i], tr[i])
+		}
+	}
+}
+
+func TestFaultLockInjection(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFault(OS, Rule{Op: OpLock, Err: syscall.ENOLCK})
+	f, err := fsys.OpenFile(filepath.Join(dir, "l"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.TryLock(); !errors.Is(err, syscall.ENOLCK) {
+		t.Fatalf("TryLock: %v, want injected ENOLCK", err)
+	}
+	// Second acquisition is past the rule and succeeds for real.
+	locked, err := f.TryLock()
+	if err != nil || !locked {
+		t.Fatalf("TryLock after rule: %v %v", locked, err)
+	}
+}

@@ -21,6 +21,7 @@
 package tifs
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -171,7 +172,7 @@ type SimJob = engine.Job
 // order. Duplicate jobs are simulated once and share their result;
 // output is identical to running each job serially.
 func SimulateAll(jobs []SimJob, parallelism int) []SimResult {
-	return engine.New(parallelism).RunAll(jobs)
+	return engine.New(parallelism).RunAll(context.Background(), jobs)
 }
 
 // ResultStore is a persistent, content-addressed cache of simulation
@@ -192,9 +193,18 @@ func OpenResultStore(dir string) (*ResultStore, error) { return store.Open(dir) 
 // (nil behaves exactly like SimulateAll). Results are byte-identical
 // with or without the store.
 func SimulateAllStored(jobs []SimJob, parallelism int, st *ResultStore) []SimResult {
+	return SimulateAllStoredContext(context.Background(), jobs, parallelism, st)
+}
+
+// SimulateAllStoredContext is SimulateAllStored bounded by a context:
+// cancellation stops scheduling new simulations, unblocks waiters, and
+// leaves unfinished slots as zero Results (treat the batch as invalid
+// once ctx is cancelled). Everything simulated before the cancellation
+// is already written to the store.
+func SimulateAllStoredContext(ctx context.Context, jobs []SimJob, parallelism int, st *ResultStore) []SimResult {
 	e := engine.New(parallelism)
 	e.SetStore(st)
-	return e.RunAll(jobs)
+	return e.RunAll(ctx, jobs)
 }
 
 // StoreCompaction reports what a result-store GC pass reclaimed.
@@ -242,14 +252,23 @@ type ShardReport = shard.Report
 // every shard completes, a merge pass — any normal experiment run with
 // the store attached, e.g. tifsbench -merge — assembles output
 // byte-identical to a single-process run from store hits alone.
-func ShardedSweep(dir string, index, count int, g SweepGrid, o ExperimentOptions) (ShardReport, error) {
+//
+// Cancelling ctx aborts the shard at the next batch boundary: the lease
+// is released (so a fresh worker can claim the shard immediately rather
+// than waiting out the TTL), everything simulated so far stays in the
+// store, and the partial report returns alongside ctx's error.
+func ShardedSweep(ctx context.Context, dir string, index, count int, g SweepGrid, o ExperimentOptions) (ShardReport, error) {
 	c := shard.NewCoordinator(dir, g, count)
 	owner := sweepOwner()
 	if err := c.Claim(index, owner); err != nil {
 		return ShardReport{}, fmt.Errorf("tifs: %w", err)
 	}
-	rep, err := runShard(dir, c, g, index, count, owner, o)
+	rep, err := runShard(ctx, dir, c, g, index, count, owner, o)
 	if err != nil {
+		// Hand the shard back: only this owner's claimed lease is freed,
+		// so a racing takeover is never clobbered. Best-effort — if the
+		// release itself fails the lease simply expires on its TTL.
+		c.Release(index, owner)
 		return rep, err
 	}
 	if err := c.Complete(index); err != nil {
@@ -263,11 +282,14 @@ func ShardedSweep(dir string, index, count int, g SweepGrid, o ExperimentOptions
 // none remain, returning a report per shard it ran. Launch N such
 // workers against one dir to run a whole sweep with no manual shard
 // numbering.
-func ShardedSweepAuto(dir string, count int, g SweepGrid, o ExperimentOptions) ([]ShardReport, error) {
+func ShardedSweepAuto(ctx context.Context, dir string, count int, g SweepGrid, o ExperimentOptions) ([]ShardReport, error) {
 	c := shard.NewCoordinator(dir, g, count)
 	owner := sweepOwner()
 	var reports []ShardReport
 	for {
+		if err := ctx.Err(); err != nil {
+			return reports, err
+		}
 		index, ok, err := c.ClaimAny(owner)
 		if err != nil {
 			return reports, fmt.Errorf("tifs: %w", err)
@@ -275,8 +297,9 @@ func ShardedSweepAuto(dir string, count int, g SweepGrid, o ExperimentOptions) (
 		if !ok {
 			return reports, nil
 		}
-		rep, err := runShard(dir, c, g, index, count, owner, o)
+		rep, err := runShard(ctx, dir, c, g, index, count, owner, o)
 		if err != nil {
+			c.Release(index, owner)
 			return reports, err
 		}
 		reports = append(reports, rep)
@@ -295,15 +318,15 @@ func MissingFromStore(st *ResultStore, g SweepGrid) (jobs []SimJob, traces []Tra
 
 // runShard opens the worker's store handle and executes one shard under
 // a live lease.
-func runShard(dir string, c *shard.Coordinator, g SweepGrid, index, count int, owner string, o ExperimentOptions) (ShardReport, error) {
+func runShard(ctx context.Context, dir string, c *shard.Coordinator, g SweepGrid, index, count int, owner string, o ExperimentOptions) (ShardReport, error) {
 	st, err := store.Open(dir)
 	if err != nil {
 		return ShardReport{}, fmt.Errorf("tifs: %w", err)
 	}
 	defer st.Close()
-	rep, err := shard.Run(st, g, index, count, o.Parallelism, func() error {
+	rep, err := shard.Run(ctx, st, g, index, count, o.Parallelism, func() error {
 		return c.Renew(index, owner)
-	}, c.RenewInterval())
+	}, c.RenewInterval(), c.TTL)
 	if err != nil {
 		return rep, fmt.Errorf("tifs: %w", err)
 	}

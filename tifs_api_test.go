@@ -1,6 +1,7 @@
 package tifs_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -95,7 +96,7 @@ func TestShardedSweepAPI(t *testing.T) {
 
 	var total int
 	for index := 0; index < 2; index++ {
-		rep, err := tifs.ShardedSweep(dir, index, 2, grid, o)
+		rep, err := tifs.ShardedSweep(context.Background(), dir, index, 2, grid, o)
 		if err != nil {
 			t.Fatal(err)
 		}
