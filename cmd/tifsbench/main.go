@@ -24,12 +24,27 @@
 // pass renders output byte-identical to a single-process run from store
 // hits alone. -store-gc folds the per-worker segment files back into one
 // log and reclaims dead bytes.
+//
+// With -remote, the store and the lease coordination live behind a
+// tifsserve URL instead of a shared directory — workers on different
+// machines need share nothing but the URL:
+//
+//	tifsserve -dir /var/tifs/store -addr :8419                                # on the store host
+//	tifsbench -experiment all -scale full -remote http://host:8419 -shard auto/4
+//	tifsbench -experiment all -scale full -remote http://host:8419 -merge
+//
+// Remote outages degrade, never block: workers compute locally, queue
+// write-backs, and reconcile when the server returns; output stays
+// byte-identical regardless. -netfault injects deterministic network
+// faults (drops, latency, 5xx, torn bodies) into the remote client for
+// testing that machinery.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -77,8 +92,10 @@ func run() int {
 		cores      = flag.Int("cores", 4, "number of cores")
 		parallel   = flag.Int("parallelism", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 		cacheDir   = flag.String("cache-dir", "", "persistent result store directory (empty = disabled)")
-		shardSpec  = flag.String("shard", "", "run as a sweep worker: 'i/N' (0-based) or 'auto/N'; requires -cache-dir")
-		merge      = flag.Bool("merge", false, "assemble experiment output from the shared store after shard workers finish; requires -cache-dir")
+		remote     = flag.String("remote", "", "tifsserve base URL (e.g. http://host:8419); replaces -cache-dir for runs, -shard, and -merge")
+		netFault   = flag.String("netfault", "", "inject deterministic network faults into -remote traffic: 'mode:method:path:nth[:times],...' (testing)")
+		shardSpec  = flag.String("shard", "", "run as a sweep worker: 'i/N' (0-based) or 'auto/N'; requires -cache-dir or -remote")
+		merge      = flag.Bool("merge", false, "assemble experiment output from the shared store after shard workers finish; requires -cache-dir or -remote")
 		storeGC    = flag.Bool("store-gc", false, "compact the -cache-dir store (fold segments, drop dead bytes) and exit")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -159,14 +176,43 @@ func run() int {
 		ids = []string{*experiment}
 	}
 
-	if *shardSpec != "" {
-		return runShardWorker(ctx, *shardSpec, *cacheDir, ids, o)
-	}
-	if *merge {
-		return runMerge(ctx, *cacheDir, ids, o)
+	// httpClient carries all -remote traffic; -netfault wraps its
+	// transport in the deterministic fault injector.
+	var httpClient *http.Client
+	if *netFault != "" {
+		if *remote == "" {
+			fmt.Fprintln(os.Stderr, "-netfault requires -remote")
+			return 2
+		}
+		rt, err := tifs.NetFaultTransport(*netFault, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		httpClient = &http.Client{Transport: rt}
 	}
 
-	if *cacheDir != "" {
+	if *shardSpec != "" {
+		return runShardWorker(ctx, *shardSpec, *cacheDir, *remote, httpClient, ids, o)
+	}
+	if *merge {
+		return runMerge(ctx, *cacheDir, *remote, httpClient, ids, o)
+	}
+
+	switch {
+	case *remote != "":
+		rs := tifs.DialRemoteStore(*remote, httpClient)
+		defer func() {
+			fmt.Fprintln(os.Stderr, rs.Stats())
+			if err := rs.Close(); err != nil {
+				// Undelivered write-backs are a warning, not a failure: the
+				// tables printed are correct, and a later run or merge just
+				// recomputes what never reached the server.
+				fmt.Fprintln(os.Stderr, "tifsbench:", err)
+			}
+		}()
+		o.Backend = rs
+	case *cacheDir != "":
 		st, err := tifs.OpenResultStore(*cacheDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -206,10 +252,11 @@ func interrupted(ctx context.Context) int {
 // runShardWorker executes one sweep worker: shard "i/N" pins a shard,
 // "auto/N" claims shards through the lease manifest until none remain.
 // Workers print per-shard reports to stderr and no tables at all — the
-// -merge pass renders output once every shard is done.
-func runShardWorker(ctx context.Context, spec, cacheDir string, ids []string, o tifs.ExperimentOptions) int {
-	if cacheDir == "" {
-		fmt.Fprintln(os.Stderr, "-shard requires -cache-dir (the store all workers share)")
+// -merge pass renders output once every shard is done. With remote set,
+// the store and lease manifest live behind that tifsserve URL.
+func runShardWorker(ctx context.Context, spec, cacheDir, remote string, httpClient *http.Client, ids []string, o tifs.ExperimentOptions) int {
+	if cacheDir == "" && remote == "" {
+		fmt.Fprintln(os.Stderr, "-shard requires -cache-dir or -remote (the store all workers share)")
 		return 2
 	}
 	sel, countStr, ok := strings.Cut(spec, "/")
@@ -227,7 +274,13 @@ func runShardWorker(ctx context.Context, spec, cacheDir string, ids []string, o 
 		len(grid.Jobs), len(grid.Traces), count)
 
 	if sel == "auto" {
-		reports, err := tifs.ShardedSweepAuto(ctx, cacheDir, count, grid, o)
+		var reports []tifs.ShardReport
+		var err error
+		if remote != "" {
+			reports, err = tifs.RemoteShardedSweepAuto(ctx, remote, httpClient, count, grid, o)
+		} else {
+			reports, err = tifs.ShardedSweepAuto(ctx, cacheDir, count, grid, o)
+		}
 		for _, rep := range reports {
 			fmt.Fprintln(os.Stderr, rep)
 		}
@@ -247,7 +300,12 @@ func runShardWorker(ctx context.Context, spec, cacheDir string, ids []string, o 
 		fmt.Fprintf(os.Stderr, "bad -shard %q: index must be in [0,%d)\n", spec, count)
 		return 2
 	}
-	rep, err := tifs.ShardedSweep(ctx, cacheDir, index, count, grid, o)
+	var rep tifs.ShardReport
+	if remote != "" {
+		rep, err = tifs.RemoteShardedSweep(ctx, remote, httpClient, index, count, grid, o)
+	} else {
+		rep, err = tifs.ShardedSweep(ctx, cacheDir, index, count, grid, o)
+	}
 	if ctx.Err() != nil {
 		// Partial report: the counters below say how far it got before
 		// the interrupt; everything counted is already in the store.
@@ -267,20 +325,31 @@ func runShardWorker(ctx context.Context, spec, cacheDir string, ids []string, o 
 // shard coverage every grid point is a store hit and the pass takes
 // seconds; anything a failed worker left missing is re-computed here
 // (correct output either way) and reported so the operator knows.
-func runMerge(ctx context.Context, cacheDir string, ids []string, o tifs.ExperimentOptions) int {
-	if cacheDir == "" {
-		fmt.Fprintln(os.Stderr, "-merge requires -cache-dir (the store the shard workers filled)")
+func runMerge(ctx context.Context, cacheDir, remote string, httpClient *http.Client, ids []string, o tifs.ExperimentOptions) int {
+	if cacheDir == "" && remote == "" {
+		fmt.Fprintln(os.Stderr, "-merge requires -cache-dir or -remote (the store the shard workers filled)")
 		return 2
 	}
-	st, err := tifs.OpenResultStore(cacheDir)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 2
+	var st tifs.StoreBackend
+	if remote != "" {
+		rs := tifs.DialRemoteStore(remote, httpClient)
+		defer func() {
+			fmt.Fprintln(os.Stderr, rs.Stats())
+			rs.Close()
+		}()
+		st = rs
+	} else {
+		local, err := tifs.OpenResultStore(cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer func() {
+			fmt.Fprintln(os.Stderr, local.Stats())
+			local.Close()
+		}()
+		st = local
 	}
-	defer func() {
-		fmt.Fprintln(os.Stderr, st.Stats())
-		st.Close()
-	}()
 	// Preflight coverage against the grid itself: the engine's counters
 	// alone would miss a re-run trace extraction.
 	grid, err := tifs.ExperimentGrid(ids, o)
@@ -289,7 +358,7 @@ func runMerge(ctx context.Context, cacheDir string, ids []string, o tifs.Experim
 		return 2
 	}
 	missingJobs, missingTraces := tifs.MissingFromStore(st, grid)
-	e := tifs.NewSimEngine(o.Parallelism, st)
+	e := tifs.NewSimEngineBackend(o.Parallelism, st)
 	o.Engine = e
 
 	if len(ids) == 0 {

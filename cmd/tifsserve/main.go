@@ -1,0 +1,100 @@
+// Command tifsserve serves a result-store directory over HTTP, so
+// sharded sweep workers on other machines can share results and lease
+// coordination with no common filesystem — they need only this URL.
+//
+// Usage:
+//
+//	tifsserve -dir /var/tifs/store -addr :8419
+//
+// The protocol is the small content-addressed blob + manifest API in
+// internal/remotestore: GET/PUT /v1/blob/{addr}, GET/PUT /v1/manifest
+// (ETag compare-and-swap), GET /v1/ping. The server is just another
+// store writer — it can share the directory with local tifsbench runs,
+// and -store-gc compaction applies as usual once it is stopped.
+//
+// Workers tolerate the server dying: their clients degrade to local
+// computation and queue write-backs, so kill -9 and a restart lose no
+// work and corrupt no results (the store's crash-safety and the
+// client's reconcile-on-recovery both hold).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tifs/internal/remotestore"
+	"tifs/internal/store"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		dir  = flag.String("dir", "", "result store directory to serve (required; created if absent)")
+		addr = flag.String("addr", ":8419", "listen address")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "tifsserve: -dir is required")
+		return 2
+	}
+
+	st, err := store.Open(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tifsserve:", err)
+		return 1
+	}
+	defer func() {
+		fmt.Fprintln(os.Stderr, st.Stats())
+		st.Close()
+	}()
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: remotestore.NewServer(st, *dir).Handler(),
+		// Bound header reads so a stuck peer cannot pin a connection
+		// forever; bodies are already bounded by the protocol's limits.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tifsserve:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "tifsserve: serving %s on http://%s (format v%d)\n",
+		*dir, ln.Addr(), store.FormatVersion)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "tifsserve:", err)
+			return 1
+		}
+	case <-sig:
+		fmt.Fprintln(os.Stderr, "tifsserve: shutting down (in-flight requests get 5s to finish)")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			// A hung drain is not worth blocking the store close: the
+			// clients retry and the store is crash-safe anyway.
+			srv.Close()
+		}
+	}
+	return 0
+}

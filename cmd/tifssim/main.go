@@ -74,6 +74,7 @@ func run() int {
 		cores     = flag.Int("cores", 4, "number of cores")
 		baseline  = flag.Bool("baseline", true, "also run the next-line baseline and report speedup")
 		cacheDir  = flag.String("cache-dir", "", "persistent result store directory (empty = disabled)")
+		remote    = flag.String("remote", "", "tifsserve base URL (e.g. http://host:8419); remote result store instead of -cache-dir")
 		storeGC   = flag.Bool("store-gc", false, "compact the -cache-dir store (fold segments, drop dead bytes) and exit")
 	)
 	flag.Parse()
@@ -112,19 +113,28 @@ func run() int {
 
 	// Run the mechanism and (when requested) its next-line baseline as one
 	// batch so they execute concurrently on multi-core hosts. With
-	// -cache-dir, previously simulated configurations load from the
-	// persistent store instead of re-running.
-	var st *tifs.ResultStore
-	if *cacheDir != "" {
-		st, err = tifs.OpenResultStore(*cacheDir)
+	// -cache-dir (or -remote), previously simulated configurations load
+	// from the persistent store instead of re-running.
+	var st tifs.StoreBackend
+	switch {
+	case *remote != "":
+		rs := tifs.DialRemoteStore(*remote, nil)
+		defer func() {
+			fmt.Fprintln(os.Stderr, rs.Stats())
+			rs.Close()
+		}()
+		st = rs
+	case *cacheDir != "":
+		local, err := tifs.OpenResultStore(*cacheDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
 		}
 		defer func() {
-			fmt.Fprintln(os.Stderr, st.Stats())
-			st.Close()
+			fmt.Fprintln(os.Stderr, local.Stats())
+			local.Close()
 		}()
+		st = local
 	}
 	jobs := []tifs.SimJob{{Spec: spec, Scale: scale, Config: tifs.SimConfig{
 		Cores: *cores, EventsPerCore: *events, Mechanism: mech,
@@ -135,7 +145,7 @@ func run() int {
 			Cores: *cores, EventsPerCore: *events, Mechanism: tifs.NextLineOnly(),
 		}})
 	}
-	results := tifs.SimulateAllStoredContext(ctx, jobs, 0, st)
+	results := tifs.SimulateAllBackendContext(ctx, jobs, 0, st)
 	if ctx.Err() != nil {
 		fmt.Fprintln(os.Stderr, "tifssim: interrupted — no report (partial results, if any, were saved to the cache)")
 		return exitInterrupted

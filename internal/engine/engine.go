@@ -101,8 +101,11 @@ type Engine struct {
 
 	// store is the optional persistent second memo tier: keys missing
 	// from the in-process memo are looked up there before simulating,
-	// and freshly simulated results are written back.
-	store *store.Store
+	// and freshly simulated results are written back. Any store.Backend
+	// serves — the on-disk store, or a remote client that may degrade to
+	// missing on every Get; the engine recomputes on a miss, so a
+	// backend outage costs time, never correctness.
+	store store.Backend
 
 	// runners pools reusable simulation machines (one per concurrently
 	// running job); a pooled steady-state run allocates nothing.
@@ -138,10 +141,24 @@ func (e *Engine) SimulationsRun() uint64 { return e.runs.Load() }
 // persistent store instead of simulating.
 func (e *Engine) StoreHits() uint64 { return e.storeHits.Load() }
 
-// SetStore attaches a persistent result store as the second memo tier.
+// SetStore attaches the on-disk result store as the second memo tier.
 // Attach it before submitting work; it must not change while jobs are in
 // flight. A nil store disables the tier.
-func (e *Engine) SetStore(s *store.Store) { e.store = s }
+func (e *Engine) SetStore(s *store.Store) {
+	if s == nil {
+		// Guard the typed-nil hazard: assigning (*store.Store)(nil) to the
+		// interface field would make every e.store != nil check pass and
+		// then panic inside the method calls.
+		e.store = nil
+		return
+	}
+	e.store = s
+}
+
+// SetBackend attaches an arbitrary store backend (the remote client,
+// a test double) as the persistent memo tier. A nil backend disables
+// the tier.
+func (e *Engine) SetBackend(b store.Backend) { e.store = b }
 
 // runner borrows a pooled simulation machine.
 func (e *Engine) runner() *sim.Runner {

@@ -55,6 +55,12 @@ type Options struct {
 	// Results are byte-identical with or without it. Ignored when Engine
 	// is set (configure the engine directly instead).
 	Store *store.Store
+	// Backend attaches a result-store backend by interface — e.g. a
+	// remote store client — instead of a local Store. Takes precedence
+	// over Store; ignored when Engine is set. The backend's one-way
+	// defensiveness keeps output byte-identical whether it hits, misses,
+	// or degrades.
+	Backend store.Backend
 }
 
 func (o Options) withDefaults() Options {
@@ -77,9 +83,13 @@ func (o Options) engine() *engine.Engine {
 	if o.Engine != nil {
 		return o.Engine
 	}
-	if o.Parallelism != 0 || o.Store != nil {
+	if o.Parallelism != 0 || o.Store != nil || o.Backend != nil {
 		e := engine.New(o.Parallelism)
-		e.SetStore(o.Store)
+		if o.Backend != nil {
+			e.SetBackend(o.Backend)
+		} else {
+			e.SetStore(o.Store)
+		}
 		return e
 	}
 	return engine.Default()

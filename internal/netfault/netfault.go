@@ -1,0 +1,332 @@
+// Package netfault injects deterministic network faults into HTTP
+// clients — the internal/vfs.Fault analogue for the network boundary.
+// A Fault wraps an http.RoundTripper, records every request (method,
+// path) in an op trace, and fails the ones its rules match:
+//
+//   - drop: the request never reaches the server; the caller sees a
+//     connection reset, the shape of a partition or a crashed peer.
+//   - latency: the request is delayed, then proceeds — a tail-latency
+//     spike for hedging to race.
+//   - 5xx: a synthesized error response returns without the request
+//     reaching the server — an overloaded or crashing backend.
+//   - torn body: the request reaches the server and the response
+//     returns, but its body is cut short of Content-Length mid-read —
+//     a connection dying under a transfer.
+//
+// Rules are deterministic: the Nth request matching (method, path
+// substring) always trips the same rule at the same point, so a failing
+// schedule reproduces from an op trace exactly (RuleForTraceIndex), the
+// same discipline vfs.Fault established for filesystem faults.
+package netfault
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Mode selects what a matched rule does to the request.
+type Mode int
+
+const (
+	// ModeDrop fails the request with a connection reset before it
+	// reaches the server.
+	ModeDrop Mode = iota
+	// ModeLatency delays the request by Rule.Latency, then proceeds.
+	ModeLatency
+	// ModeStatus synthesizes a response with Rule.Status (default 503)
+	// and an empty body; the request does not reach the server.
+	ModeStatus
+	// ModeTornBody forwards the request but truncates the response body
+	// to half its Content-Length, surfacing a connection reset mid-read.
+	ModeTornBody
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeDrop:
+		return "drop"
+	case ModeLatency:
+		return "latency"
+	case ModeStatus:
+		return "status"
+	case ModeTornBody:
+		return "torn"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Rule arms one fault: the Nth request matching (Method, Path
+// substring) is failed according to Mode.
+type Rule struct {
+	// Method, when non-empty, must equal the request method.
+	Method string
+	// Path, when non-empty, must be a substring of the request path.
+	Path string
+	// Nth is the 1-based index among matching requests at which the
+	// rule fires; 0 means the first match.
+	Nth int
+	// Times is how many consecutive matches fire after the Nth (0 means
+	// exactly one; negative means every match from the Nth on).
+	Times int
+	// Mode is what happens when the rule fires.
+	Mode Mode
+	// Latency is the injected delay for ModeLatency.
+	Latency time.Duration
+	// Status is the synthesized status for ModeStatus (default 503).
+	Status int
+}
+
+func (r Rule) String() string {
+	return fmt.Sprintf("rule{%s %s %q nth=%d times=%d}", r.Mode, r.Method, r.Path, r.Nth, r.Times)
+}
+
+// OpRecord is one entry of a Fault's request trace.
+type OpRecord struct {
+	Method, Path string
+}
+
+func (o OpRecord) String() string { return o.Method + " " + o.Path }
+
+// Fault is a fault-injecting RoundTripper wrapping another (normally
+// http.DefaultTransport). It is safe for concurrent use; note that
+// concurrent requests (hedges, parallel workers) race for Nth-match
+// positions, so tests that need exact firing points sequence their
+// requests.
+type Fault struct {
+	inner http.RoundTripper
+
+	mu    sync.Mutex
+	rules []*ruleState
+	trace []OpRecord
+}
+
+type ruleState struct {
+	Rule
+	seen  int
+	fired int
+}
+
+// New wraps inner (nil selects http.DefaultTransport) with the given
+// rules armed.
+func New(inner http.RoundTripper, rules ...Rule) *Fault {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	f := &Fault{inner: inner}
+	for _, r := range rules {
+		f.AddRule(r)
+	}
+	return f
+}
+
+// AddRule arms another rule; matching counts start at the moment the
+// rule is added.
+func (f *Fault) AddRule(r Rule) {
+	if r.Nth <= 0 {
+		r.Nth = 1
+	}
+	if r.Status == 0 {
+		r.Status = http.StatusServiceUnavailable
+	}
+	f.mu.Lock()
+	f.rules = append(f.rules, &ruleState{Rule: r})
+	f.mu.Unlock()
+}
+
+// Trace returns the requests observed so far, in order.
+func (f *Fault) Trace() []OpRecord {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]OpRecord(nil), f.trace...)
+}
+
+// RuleForTraceIndex converts entry i of a previously captured trace
+// into a rule that fires at exactly that request when the same workload
+// replays — the reproduction half of deterministic fault injection.
+func RuleForTraceIndex(trace []OpRecord, i int, mode Mode) Rule {
+	nth := 0
+	for j := 0; j <= i && j < len(trace); j++ {
+		if trace[j].Method == trace[i].Method && trace[j].Path == trace[i].Path {
+			nth++
+		}
+	}
+	return Rule{Method: trace[i].Method, Path: trace[i].Path, Nth: nth, Mode: mode}
+}
+
+// check records the request and consults the rules, returning the first
+// rule that fires.
+func (f *Fault) check(method, path string) *Rule {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.trace = append(f.trace, OpRecord{Method: method, Path: path})
+	for _, r := range f.rules {
+		if r.Method != "" && r.Method != method {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		r.seen++
+		if r.seen < r.Nth {
+			continue
+		}
+		if r.Times >= 0 && r.fired > r.Times {
+			continue
+		}
+		r.fired++
+		rule := r.Rule
+		return &rule
+	}
+	return nil
+}
+
+// errDropped is the connection-level failure a dropped request surfaces
+// as: a net.OpError wrapping ECONNRESET, exactly what a real torn
+// connection produces, so retry.TransientNetwork classifies it without
+// special cases.
+func errDropped() error {
+	return &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+}
+
+// RoundTrip implements http.RoundTripper.
+func (f *Fault) RoundTrip(req *http.Request) (*http.Response, error) {
+	r := f.check(req.Method, req.URL.Path)
+	if r == nil {
+		return f.inner.RoundTrip(req)
+	}
+	switch r.Mode {
+	case ModeDrop:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, errDropped()
+	case ModeStatus:
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		return &http.Response{
+			Status:        fmt.Sprintf("%d %s", r.Status, http.StatusText(r.Status)),
+			StatusCode:    r.Status,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"X-Netfault": []string{"injected"}},
+			Body:          io.NopCloser(strings.NewReader("")),
+			ContentLength: 0,
+			Request:       req,
+		}, nil
+	case ModeLatency:
+		timer := time.NewTimer(r.Latency)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		return f.inner.RoundTrip(req)
+	case ModeTornBody:
+		resp, err := f.inner.RoundTrip(req)
+		if err != nil || resp.Body == nil {
+			return resp, err
+		}
+		// Tear at half the declared length; chunked responses (unknown
+		// length) tear at a fixed deterministic offset instead.
+		cut := resp.ContentLength / 2
+		if resp.ContentLength <= 0 {
+			cut = 1024
+		}
+		resp.Body = &tornBody{inner: resp.Body, remaining: cut}
+		return resp, nil
+	}
+	return f.inner.RoundTrip(req)
+}
+
+// tornBody yields the first half of a response body, then fails the
+// read with a connection reset — the Content-Length header promised
+// more, so the HTTP client surfaces a torn transfer to the caller.
+type tornBody struct {
+	inner     io.ReadCloser
+	remaining int64
+}
+
+func (b *tornBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, errDropped()
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.inner.Read(p)
+	b.remaining -= int64(n)
+	if err == io.EOF && b.remaining <= 0 {
+		err = errDropped()
+	}
+	return n, err
+}
+
+func (b *tornBody) Close() error { return b.inner.Close() }
+
+// ParseRules decodes the CLI fault-matrix syntax: a comma-separated
+// list of rules, each "mode:method:path:nth" with an optional ":times"
+// fifth field (negative = every match from the Nth on). Mode is one of
+// "drop", "torn", an HTTP status ("500", "503"), or "latency<dur>"
+// ("latency50ms"). Empty method/path fields match anything.
+//
+//	drop:GET:/v1/blob:1,503:PUT::2,latency50ms:::3,torn:GET:/v1/blob:2:1
+func ParseRules(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, one := range strings.Split(spec, ",") {
+		one = strings.TrimSpace(one)
+		if one == "" {
+			continue
+		}
+		fields := strings.Split(one, ":")
+		if len(fields) < 4 || len(fields) > 5 {
+			return nil, fmt.Errorf("netfault: bad rule %q: want mode:method:path:nth[:times]", one)
+		}
+		var r Rule
+		mode := fields[0]
+		switch {
+		case mode == "drop":
+			r.Mode = ModeDrop
+		case mode == "torn":
+			r.Mode = ModeTornBody
+		case strings.HasPrefix(mode, "latency"):
+			d, err := time.ParseDuration(strings.TrimPrefix(mode, "latency"))
+			if err != nil {
+				return nil, fmt.Errorf("netfault: bad latency in rule %q: %v", one, err)
+			}
+			r.Mode, r.Latency = ModeLatency, d
+		default:
+			status, err := strconv.Atoi(mode)
+			if err != nil || status < 400 || status > 599 {
+				return nil, fmt.Errorf("netfault: bad mode %q in rule %q (want drop, torn, latency<dur>, or a 4xx/5xx status)", mode, one)
+			}
+			r.Mode, r.Status = ModeStatus, status
+		}
+		r.Method = fields[1]
+		r.Path = fields[2]
+		nth, err := strconv.Atoi(fields[3])
+		if err != nil || nth < 1 {
+			return nil, fmt.Errorf("netfault: bad nth %q in rule %q", fields[3], one)
+		}
+		r.Nth = nth
+		if len(fields) == 5 {
+			times, err := strconv.Atoi(fields[4])
+			if err != nil {
+				return nil, fmt.Errorf("netfault: bad times %q in rule %q", fields[4], one)
+			}
+			r.Times = times
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}

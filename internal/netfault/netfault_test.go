@@ -1,0 +1,216 @@
+package netfault
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tifs/internal/retry"
+)
+
+// newServer returns a test server whose handler echoes a fixed body and
+// a client whose transport is wrapped by the given Fault.
+func newServer(t *testing.T, body string) (*httptest.Server, func(f *Fault) *http.Client) {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		fmt.Fprint(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, func(f *Fault) *http.Client {
+		return &http.Client{Transport: f}
+	}
+}
+
+func get(t *testing.T, c *http.Client, url string) (string, int, error) {
+	t.Helper()
+	resp, err := c.Get(url)
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), resp.StatusCode, err
+}
+
+func TestDropFiresAtNthMatchThenHeals(t *testing.T) {
+	srv, client := newServer(t, "payload")
+	c := client(New(nil, Rule{Method: "GET", Path: "/v1/blob", Nth: 2}))
+
+	if _, _, err := get(t, c, srv.URL+"/v1/blob/aa"); err != nil {
+		t.Fatalf("request 1 should pass: %v", err)
+	}
+	if _, _, err := get(t, c, srv.URL+"/v1/blob/aa"); err == nil {
+		t.Fatal("request 2 should be dropped")
+	} else if !retry.TransientNetwork(err) {
+		t.Fatalf("dropped request error %v is not classified transient", err)
+	}
+	if body, _, err := get(t, c, srv.URL+"/v1/blob/aa"); err != nil || body != "payload" {
+		t.Fatalf("request 3 should heal: body=%q err=%v", body, err)
+	}
+}
+
+func TestDropTimesRepeatsAndForever(t *testing.T) {
+	srv, client := newServer(t, "ok")
+	// Times=1: fires at 1st and 2nd match.
+	c := client(New(nil, Rule{Nth: 1, Times: 1}))
+	for i := 0; i < 2; i++ {
+		if _, _, err := get(t, c, srv.URL+"/x"); err == nil {
+			t.Fatalf("request %d should be dropped", i+1)
+		}
+	}
+	if _, _, err := get(t, c, srv.URL+"/x"); err != nil {
+		t.Fatalf("request 3 should pass: %v", err)
+	}
+
+	// Times<0: every match from the Nth on.
+	c = client(New(nil, Rule{Nth: 2, Times: -1}))
+	if _, _, err := get(t, c, srv.URL+"/x"); err != nil {
+		t.Fatalf("request 1 should pass: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := get(t, c, srv.URL+"/x"); err == nil {
+			t.Fatal("persistent drop should keep firing")
+		}
+	}
+}
+
+func TestStatusSynthesizesWithoutReachingServer(t *testing.T) {
+	hits := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		fmt.Fprint(w, "real")
+	}))
+	defer srv.Close()
+	c := &http.Client{Transport: New(nil, Rule{Mode: ModeStatus, Status: 503, Nth: 1})}
+	body, code, err := get(t, c, srv.URL+"/x")
+	if err != nil || code != 503 || body != "" {
+		t.Fatalf("injected 503: body=%q code=%d err=%v", body, code, err)
+	}
+	if hits != 0 {
+		t.Fatalf("server saw %d hits, want 0 (status is synthesized client-side)", hits)
+	}
+	if _, code, _ := get(t, c, srv.URL+"/x"); code != 200 || hits != 1 {
+		t.Fatalf("request 2: code=%d hits=%d, want 200/1", code, hits)
+	}
+}
+
+func TestTornBodyCutsMidRead(t *testing.T) {
+	payload := strings.Repeat("x", 4096)
+	srv, client := newServer(t, payload)
+	c := client(New(nil, Rule{Mode: ModeTornBody, Nth: 1}))
+	body, _, err := get(t, c, srv.URL+"/x")
+	if err == nil {
+		t.Fatalf("torn body should fail the read; got %d clean bytes", len(body))
+	}
+	if !retry.TransientNetwork(err) {
+		t.Fatalf("torn-body error %v is not classified transient", err)
+	}
+	if len(body) >= len(payload) {
+		t.Fatalf("read %d bytes, want fewer than %d", len(body), len(payload))
+	}
+}
+
+func TestLatencyDelaysThenForwards(t *testing.T) {
+	srv, client := newServer(t, "slow")
+	c := client(New(nil, Rule{Mode: ModeLatency, Latency: 50 * time.Millisecond, Nth: 1}))
+	start := time.Now()
+	body, _, err := get(t, c, srv.URL+"/x")
+	if err != nil || body != "slow" {
+		t.Fatalf("latency request failed: body=%q err=%v", body, err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("request completed in %v, want >= 50ms", elapsed)
+	}
+}
+
+func TestMatchingByMethodAndPath(t *testing.T) {
+	srv, client := newServer(t, "ok")
+	c := client(New(nil, Rule{Method: "PUT", Path: "/v1/blob", Nth: 1}))
+
+	// GETs and other paths never match.
+	if _, _, err := get(t, c, srv.URL+"/v1/blob/aa"); err != nil {
+		t.Fatalf("GET should not match a PUT rule: %v", err)
+	}
+	req, _ := http.NewRequest("PUT", srv.URL+"/v1/manifest", strings.NewReader("m"))
+	if resp, err := c.Do(req); err != nil {
+		t.Fatalf("PUT to a non-matching path should pass: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	req, _ = http.NewRequest("PUT", srv.URL+"/v1/blob/aa", strings.NewReader("b"))
+	if _, err := c.Do(req); err == nil {
+		t.Fatal("PUT to the matching path should be dropped")
+	}
+}
+
+func TestTraceCaptureAndReplay(t *testing.T) {
+	srv, client := newServer(t, "ok")
+	f := New(nil)
+	c := client(f)
+
+	// A clean run captures the op trace.
+	urls := []string{"/v1/blob/aa", "/v1/manifest", "/v1/blob/aa", "/v1/blob/bb"}
+	for _, u := range urls {
+		if _, _, err := get(t, c, srv.URL+u); err != nil {
+			t.Fatalf("clean run %s: %v", u, err)
+		}
+	}
+	tr := f.Trace()
+	if len(tr) != len(urls) {
+		t.Fatalf("trace has %d entries, want %d", len(tr), len(urls))
+	}
+
+	// Replay with a rule derived from trace index 2 (the second GET of
+	// /v1/blob/aa): exactly that request fails, the rest pass.
+	rule := RuleForTraceIndex(tr, 2, ModeDrop)
+	if rule.Nth != 2 || rule.Path != "/v1/blob/aa" {
+		t.Fatalf("derived rule %+v, want nth=2 path=/v1/blob/aa", rule)
+	}
+	c2 := client(New(nil, rule))
+	for i, u := range urls {
+		_, _, err := get(t, c2, srv.URL+u)
+		if i == 2 && err == nil {
+			t.Fatalf("replay request %d should fail", i)
+		}
+		if i != 2 && err != nil {
+			t.Fatalf("replay request %d should pass: %v", i, err)
+		}
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules("drop:GET:/v1/blob:1,503:PUT::2,latency50ms:::3,torn:GET:/v1/blob:2:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Mode: ModeDrop, Method: "GET", Path: "/v1/blob", Nth: 1},
+		{Mode: ModeStatus, Status: 503, Method: "PUT", Nth: 2},
+		{Mode: ModeLatency, Latency: 50 * time.Millisecond, Nth: 3},
+		{Mode: ModeTornBody, Method: "GET", Path: "/v1/blob", Nth: 2, Times: 1},
+	}
+	if len(rules) != len(want) {
+		t.Fatalf("parsed %d rules, want %d", len(rules), len(want))
+	}
+	for i := range want {
+		if rules[i] != want[i] {
+			t.Errorf("rule %d: %+v, want %+v", i, rules[i], want[i])
+		}
+	}
+
+	for _, bad := range []string{"boom:GET:/x:1", "drop:GET:/x", "drop:GET:/x:0", "latencyzz:::1", "300:::1"} {
+		if _, err := ParseRules(bad); err == nil {
+			t.Errorf("ParseRules(%q) accepted a malformed rule", bad)
+		}
+	}
+
+	// Empty specs and stray commas are fine.
+	if rules, err := ParseRules(" , "); err != nil || len(rules) != 0 {
+		t.Errorf("blank spec: rules=%v err=%v", rules, err)
+	}
+}

@@ -1,0 +1,183 @@
+package remotestore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"tifs/internal/retry"
+	"tifs/internal/shard"
+)
+
+// ManifestClient is the shard.ManifestBackend over HTTP: the lease
+// manifest lives on the server, and each Update runs as an optimistic
+// compare-and-swap — read the image and its ETag, apply the mutation,
+// PUT it back with If-Match, and on a 412 (a peer won the race) re-read
+// and replay. The server's single-writer mutex makes the precondition
+// check atomic, so every lease transition still has exactly one winner,
+// now across machines with no shared filesystem.
+//
+// Unlike the blob path, manifest operations do NOT degrade: coordination
+// against an unreachable server fails loudly after the retry budget.
+// That is the correct failure mode — lease semantics already tolerate an
+// outage shorter than the TTL (renewals fail transiently, the lease
+// holds), and an outage longer than the TTL must surface as a lost
+// lease, not be papered over.
+type ManifestClient struct {
+	base string
+	http *http.Client
+
+	// Timeout bounds each network attempt; Retry rides over transient
+	// faults within one CAS round; CASAttempts bounds how many 412
+	// rounds a contended Update replays before giving up.
+	Timeout     time.Duration
+	Retry       retry.Policy
+	CASAttempts int
+}
+
+// NewManifestClient connects lease coordination to a tifsserve base
+// URL. Pass the same httpClient as the blob Client to share fault
+// injection and connection pools.
+func NewManifestClient(base string, httpClient *http.Client) *ManifestClient {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &ManifestClient{
+		base:        base,
+		http:        httpClient,
+		Timeout:     DefaultTimeout,
+		Retry:       retry.Policy{Classify: retry.TransientNetwork},
+		CASAttempts: defaultCASAttempts,
+	}
+}
+
+var _ shard.ManifestBackend = (*ManifestClient)(nil)
+
+// read fetches the current manifest image and its ETag; a 404 returns
+// (nil, "", nil): first use.
+func (m *ManifestClient) read(ctx context.Context) (data []byte, etag string, err error) {
+	err = m.Retry.DoContext(ctx, func() error {
+		ctx, cancel := context.WithTimeout(ctx, m.timeout())
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.base+"/v1/manifest", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := m.http.Do(req)
+		if err != nil {
+			return err
+		}
+		defer drain(resp)
+		if err := checkFormat(resp); err != nil {
+			return err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			body, err := io.ReadAll(io.LimitReader(resp.Body, maxManifestBytes+1))
+			if err != nil {
+				return err
+			}
+			data, etag = body, resp.Header.Get("ETag")
+			return nil
+		case http.StatusNotFound:
+			data, etag = nil, ""
+			return nil
+		default:
+			return &statusError{resp.StatusCode, "get manifest"}
+		}
+	})
+	return data, etag, err
+}
+
+// errCASConflict marks a lost write race; transient within Update's CAS
+// loop (the loop re-reads and replays), never surfaced to callers.
+type errCASConflict struct{}
+
+func (errCASConflict) Error() string { return "remotestore: manifest changed since read" }
+
+// write puts the replacement image guarded by the precondition. etag ""
+// means a creating write (If-None-Match: *).
+func (m *ManifestClient) write(ctx context.Context, out []byte, etag string) error {
+	return m.Retry.DoContext(ctx, func() error {
+		ctx, cancel := context.WithTimeout(ctx, m.timeout())
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, m.base+"/v1/manifest", bytes.NewReader(out))
+		if err != nil {
+			return err
+		}
+		if etag == "" {
+			req.Header.Set("If-None-Match", "*")
+		} else {
+			req.Header.Set("If-Match", etag)
+		}
+		req.Header.Set("Content-Type", "text/plain; charset=utf-8")
+		resp, err := m.http.Do(req)
+		if err != nil {
+			return err
+		}
+		defer drain(resp)
+		if err := checkFormat(resp); err != nil {
+			return err
+		}
+		switch resp.StatusCode {
+		case http.StatusNoContent:
+			return nil
+		case http.StatusPreconditionFailed:
+			return errCASConflict{}
+		default:
+			return &statusError{resp.StatusCode, "put manifest"}
+		}
+	})
+}
+
+// Update implements shard.ManifestBackend: read, apply, CAS-write,
+// replaying the whole cycle when a peer wins the write race. fn must be
+// a pure function of its input — exactly what the shard layer's
+// manifest mutations are — because a replay hands it a newer image.
+func (m *ManifestClient) Update(fn func(cur []byte) ([]byte, error)) error {
+	ctx := context.Background()
+	attempts := m.CASAttempts
+	if attempts <= 0 {
+		attempts = defaultCASAttempts
+	}
+	for attempt := 0; attempt < attempts; attempt++ {
+		cur, etag, err := m.read(ctx)
+		if err != nil {
+			return fmt.Errorf("shard: remote manifest read: %w", err)
+		}
+		out, err := fn(cur)
+		if err != nil {
+			if errors.Is(err, shard.ErrManifestUnchanged) {
+				return nil
+			}
+			return err
+		}
+		err = m.write(ctx, out, etag)
+		if err == nil {
+			return nil
+		}
+		var conflict errCASConflict
+		if !errors.As(err, &conflict) {
+			return fmt.Errorf("shard: remote manifest write: %w", err)
+		}
+		// Lost the race: back off (deterministic jitter decorrelates the
+		// contenders) and replay against the winner's image.
+		if m.Retry.Sleep != nil {
+			m.Retry.Sleep(m.Retry.Backoff(attempt))
+		} else {
+			time.Sleep(m.Retry.Backoff(attempt))
+		}
+	}
+	return fmt.Errorf("shard: remote manifest CAS lost %d straight races — pathological contention", attempts)
+}
+
+func (m *ManifestClient) timeout() time.Duration {
+	if m.Timeout <= 0 {
+		return DefaultTimeout
+	}
+	return m.Timeout
+}

@@ -1,0 +1,249 @@
+// Package remotestore shares one result store across machines over
+// plain HTTP, dropping the shared-filesystem requirement the sharded
+// sweep engine inherited from its flock-based coordination.
+//
+// The protocol is small and content-addressed:
+//
+//	GET  /v1/ping           liveness + format handshake
+//	GET  /v1/blob/{addr}    fetch a payload by content address (and HEAD)
+//	PUT  /v1/blob/{addr}    store a payload under a content address
+//	GET  /v1/manifest       read the sweep manifest + its ETag
+//	PUT  /v1/manifest       replace the manifest, guarded by If-Match
+//
+// Addresses are the store's SHA-256 content addresses in hex; payloads
+// are the store codec's encoded forms, opaque to the transport. Every
+// response carries X-Tifs-Format (the store format version — a client
+// from a different version must not mix results) and blob payloads
+// carry X-Tifs-Crc32 so a torn transfer is detected at the boundary
+// instead of surfacing as a decode failure deep in a merge.
+//
+// The correctness contract is the store's one-way defensiveness,
+// unchanged by the network: any failure anywhere — server down, request
+// torn, response corrupt — degrades to a cache miss and a local
+// recompute, never to different bytes. The client (client.go) layers
+// per-op deadlines, classified retries, hedged reads, a circuit
+// breaker, and a queued write-back path on that contract, so a remote
+// outage costs time, never correctness and never progress.
+package remotestore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"tifs/internal/store"
+	"tifs/internal/vfs"
+)
+
+// Protocol headers and limits.
+const (
+	// headerFormat carries store.FormatVersion; a mismatch means the two
+	// sides would disagree on payload semantics, which is permanent.
+	headerFormat = "X-Tifs-Format"
+	// headerCRC is the IEEE CRC32 of a blob payload, in hex.
+	headerCRC = "X-Tifs-Crc32"
+	// maxBlobBytes bounds a single upload; the largest legitimate payload
+	// (full-scale miss traces) is well under this.
+	maxBlobBytes = 1 << 30
+	// maxManifestBytes bounds the coordination manifest.
+	maxManifestBytes = 1 << 20
+
+	manifestFile = "shards.manifest"
+)
+
+// Server serves a store directory over the blob + manifest protocol.
+// Blobs live in the directory's content-addressed store (the server is
+// just another store writer, flock and all); the sweep manifest lives
+// beside them as an opaque byte image replaced atomically under an
+// in-process mutex — the server is the single arbiter, which is what
+// makes the manifest CAS sound without distributed locking.
+type Server struct {
+	st  *store.Store
+	dir string
+
+	mu sync.Mutex // serializes manifest read-modify-write cycles
+}
+
+// NewServer wraps an open store and its directory. The caller keeps
+// ownership of st (and closes it after the HTTP server stops).
+func NewServer(st *store.Store, dir string) *Server {
+	return &Server{st: st, dir: dir}
+}
+
+// Handler returns the server's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/ping", s.ping)
+	mux.HandleFunc("GET /v1/blob/{addr}", s.getBlob) // also serves HEAD
+	mux.HandleFunc("PUT /v1/blob/{addr}", s.putBlob)
+	mux.HandleFunc("GET /v1/manifest", s.getManifest)
+	mux.HandleFunc("PUT /v1/manifest", s.putManifest)
+	return mux
+}
+
+func (s *Server) ping(w http.ResponseWriter, r *http.Request) {
+	s.stamp(w)
+	w.WriteHeader(http.StatusOK)
+}
+
+// stamp adds the format handshake every response carries.
+func (s *Server) stamp(w http.ResponseWriter) {
+	w.Header().Set(headerFormat, strconv.Itoa(store.FormatVersion))
+}
+
+// parseAddr decodes the hex content address of a blob route. A
+// malformed address is a permanent client error, never retried.
+func parseAddr(r *http.Request) (store.Addr, bool) {
+	var addr store.Addr
+	raw, err := hex.DecodeString(r.PathValue("addr"))
+	if err != nil || len(raw) != len(addr) {
+		return addr, false
+	}
+	copy(addr[:], raw)
+	return addr, true
+}
+
+func (s *Server) getBlob(w http.ResponseWriter, r *http.Request) {
+	s.stamp(w)
+	addr, ok := parseAddr(r)
+	if !ok {
+		http.Error(w, "malformed content address", http.StatusBadRequest)
+		return
+	}
+	payload, ok := s.st.GetBlob(addr)
+	if !ok {
+		http.Error(w, "blob not found", http.StatusNotFound)
+		return
+	}
+	w.Header().Set(headerCRC, fmt.Sprintf("%08x", crc32.ChecksumIEEE(payload)))
+	w.Header().Set("Content-Length", strconv.Itoa(len(payload)))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	if r.Method != http.MethodHead {
+		w.Write(payload)
+	}
+}
+
+func (s *Server) putBlob(w http.ResponseWriter, r *http.Request) {
+	s.stamp(w)
+	addr, ok := parseAddr(r)
+	if !ok {
+		http.Error(w, "malformed content address", http.StatusBadRequest)
+		return
+	}
+	payload, err := io.ReadAll(io.LimitReader(r.Body, maxBlobBytes+1))
+	if err != nil {
+		// The upload tore mid-body: a transient connection fault, not a
+		// bad request. 503 tells the client to retry the idempotent PUT.
+		http.Error(w, "upload truncated", http.StatusServiceUnavailable)
+		return
+	}
+	if len(payload) > maxBlobBytes {
+		http.Error(w, "blob too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	if want := r.Header.Get(headerCRC); want != "" {
+		if got := fmt.Sprintf("%08x", crc32.ChecksumIEEE(payload)); got != want {
+			// Body arrived complete per HTTP framing but does not match
+			// the client's checksum: bytes were mangled in flight. Also
+			// transient — the retried upload re-sends from the source.
+			http.Error(w, "payload checksum mismatch", http.StatusServiceUnavailable)
+			return
+		}
+	}
+	// Duplicate uploads of a content address are idempotent by
+	// construction; the store keeps the first and the bytes are equal.
+	s.st.PutBlob(addr, payload)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// manifestETag is the strong validator of a manifest image.
+func manifestETag(data []byte) string {
+	sum := sha256.Sum256(data)
+	return `"` + hex.EncodeToString(sum[:16]) + `"`
+}
+
+func (s *Server) getManifest(w http.ResponseWriter, r *http.Request) {
+	s.stamp(w)
+	s.mu.Lock()
+	data, err := os.ReadFile(filepath.Join(s.dir, manifestFile))
+	s.mu.Unlock()
+	if errors.Is(err, os.ErrNotExist) {
+		http.Error(w, "no manifest", http.StatusNotFound)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("ETag", manifestETag(data))
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	if r.Method != http.MethodHead {
+		w.Write(data)
+	}
+}
+
+// putManifest replaces the manifest under compare-and-swap: If-Match
+// must carry the ETag of the image the client mutated (If-None-Match: *
+// for the creating write). A stale precondition gets 412 and the client
+// re-reads, re-applies, and retries — the optimistic-concurrency
+// equivalent of the flock the file backend holds across its
+// read-modify-write.
+func (s *Server) putManifest(w http.ResponseWriter, r *http.Request) {
+	s.stamp(w)
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxManifestBytes+1))
+	if err != nil {
+		http.Error(w, "upload truncated", http.StatusServiceUnavailable)
+		return
+	}
+	if len(body) > maxManifestBytes {
+		http.Error(w, "manifest too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path := filepath.Join(s.dir, manifestFile)
+	cur, err := os.ReadFile(path)
+	exists := err == nil
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	switch {
+	case r.Header.Get("If-None-Match") == "*":
+		if exists {
+			http.Error(w, "manifest already exists", http.StatusPreconditionFailed)
+			return
+		}
+	case r.Header.Get("If-Match") != "":
+		if !exists || r.Header.Get("If-Match") != manifestETag(cur) {
+			http.Error(w, "manifest changed since read", http.StatusPreconditionFailed)
+			return
+		}
+	default:
+		// Unconditional manifest writes are refused outright: every
+		// legitimate writer runs a read-modify-write cycle and must say
+		// which image it mutated.
+		http.Error(w, "manifest PUT requires If-Match or If-None-Match: *", http.StatusBadRequest)
+		return
+	}
+	// Atomic + durable, same discipline as the local manifest: a crashed
+	// server never leaves a torn image for the next reader.
+	if err := store.AtomicWriteFileFS(vfs.OS, path, body); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("ETag", manifestETag(body))
+	w.WriteHeader(http.StatusNoContent)
+}

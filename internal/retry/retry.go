@@ -13,8 +13,10 @@
 package retry
 
 import (
+	"context"
 	"errors"
 	"io"
+	"net"
 	"syscall"
 	"time"
 )
@@ -50,6 +52,54 @@ func Transient(err error) bool {
 	return false
 }
 
+// Transienter lets an error carry its own classification: the remote
+// store wraps HTTP status codes in errors implementing it (a 503 is
+// transient, a 400 is permanent).
+type Transienter interface{ Transient() bool }
+
+// TransientNetwork is Transient extended with the failure classes the
+// network boundary produces: connection-level errnos (refused, reset,
+// unreachable — the shapes a partition, a crashed server, or a dropped
+// packet surface as), request timeouts (a per-op deadline expiring is a
+// slow network, not a dead one), torn response bodies (unexpected EOF
+// mid-read), and errors that classify themselves via Transienter.
+// Context cancellation is permanent: the caller asked to stop.
+func TransientNetwork(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		// A torn body: the server (or an injected fault) cut the
+		// response short of its Content-Length. Reads are idempotent.
+		return true
+	}
+	var tr Transienter
+	if errors.As(err, &tr) {
+		return tr.Transient()
+	}
+	var errno syscall.Errno
+	if errors.As(err, &errno) {
+		switch errno {
+		case syscall.ECONNREFUSED, syscall.ECONNRESET, syscall.ECONNABORTED,
+			syscall.EPIPE, syscall.EHOSTUNREACH, syscall.ENETUNREACH,
+			syscall.ENETDOWN, syscall.ENETRESET, syscall.EADDRNOTAVAIL:
+			return true
+		}
+		return Transient(err)
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return Transient(err)
+}
+
 // Policy is a capped exponential backoff schedule. The zero value is
 // usable: 4 attempts, 2ms base, 250ms cap, real sleeping.
 type Policy struct {
@@ -66,6 +116,17 @@ type Policy struct {
 	// Sleep is the delay function (nil selects time.Sleep); tests
 	// substitute a recorder to run schedules instantly.
 	Sleep func(time.Duration)
+	// Classify decides which errors are worth retrying (nil selects
+	// Transient, the filesystem classifier; network callers set
+	// TransientNetwork).
+	Classify func(error) bool
+}
+
+func (p Policy) classify(err error) bool {
+	if p.Classify != nil {
+		return p.Classify(err)
+	}
+	return Transient(err)
 }
 
 func (p Policy) attempts() int {
@@ -111,21 +172,48 @@ func (p Policy) Backoff(attempt int) time.Duration {
 // nil on success, or the final error: the first permanent failure, or
 // the last transient one once attempts are exhausted.
 func (p Policy) Do(op func() error) error {
-	sleep := p.Sleep
-	if sleep == nil {
-		sleep = time.Sleep
-	}
+	return p.DoContext(context.Background(), op)
+}
+
+// DoContext is Do bounded by a context: a cancellation observed between
+// attempts — including mid-backoff, where the sleep is cut short — stops
+// retrying and returns ctx's error immediately. op itself is not
+// interrupted; pass ctx into the operation for that.
+func (p Policy) DoContext(ctx context.Context, op func() error) error {
 	var err error
 	for attempt := 0; attempt < p.attempts(); attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
 		if err = op(); err == nil {
 			return nil
 		}
-		if !Transient(err) {
+		if !p.classify(err) {
 			return err
 		}
 		if attempt < p.attempts()-1 {
-			sleep(p.Backoff(attempt))
+			if cerr := p.sleep(ctx, p.Backoff(attempt)); cerr != nil {
+				return cerr
+			}
 		}
 	}
 	return err
+}
+
+// sleep waits d or until ctx is cancelled, whichever comes first. A
+// substituted Policy.Sleep (test recorders) is honored as-is — it is
+// assumed not to block meaningfully — with the cancellation check after.
+func (p Policy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }

@@ -1,9 +1,11 @@
 package retry
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"syscall"
 	"testing"
 	"time"
@@ -114,3 +116,133 @@ func TestDoZeroValueDefaults(t *testing.T) {
 		t.Fatalf("zero-value policy ran %d attempts, want 4", calls)
 	}
 }
+
+// TestDoContextCancelMidBackoff: a cancellation that lands while the
+// policy is sleeping between attempts must return ctx's error promptly —
+// it must not sit out the remainder of the backoff, and it must not run
+// another attempt afterwards.
+func TestDoContextCancelMidBackoff(t *testing.T) {
+	// A schedule whose first backoff alone far exceeds the test's
+	// tolerance: if cancellation doesn't interrupt the sleep, the
+	// elapsed-time assertion below fails.
+	p := Policy{Attempts: 4, Base: 30 * time.Second, Max: 30 * time.Second}
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	start := time.Now()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	err := p.DoContext(ctx, func() error { calls++; return syscall.EIO })
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("op ran %d times, want 1 (no attempt after cancellation)", calls)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("DoContext took %v to notice cancellation; the backoff sleep was not interrupted", elapsed)
+	}
+}
+
+// TestDoContextCancelBeforeAttempt: a context already cancelled on entry
+// (or cancelled between attempts by the op itself) stops the loop before
+// the next call.
+func TestDoContextCancelBeforeAttempt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Policy{Sleep: func(time.Duration) {}}.DoContext(ctx, func() error { calls++; return syscall.EIO })
+	if !errors.Is(err, context.Canceled) || calls != 0 {
+		t.Fatalf("err=%v calls=%d, want context.Canceled before any attempt", err, calls)
+	}
+
+	// Cancelled during an attempt: the transient error would normally
+	// retry, but the cancellation observed at the next loop boundary (via
+	// the recorder sleep's post-check) wins.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	calls = 0
+	err = Policy{Sleep: func(time.Duration) {}}.DoContext(ctx2, func() error {
+		calls++
+		cancel2()
+		return syscall.EIO
+	})
+	if !errors.Is(err, context.Canceled) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want context.Canceled after one attempt", err, calls)
+	}
+}
+
+// TestJitterDeterminismAcrossReseeds: the jitter is a pure function of
+// (Seed, attempt) — re-creating the policy, reordering calls, or
+// interleaving other schedules must not perturb a delay. This is what
+// makes a captured failing schedule replay exactly.
+func TestJitterDeterminismAcrossReseeds(t *testing.T) {
+	mk := func(seed uint64) Policy {
+		return Policy{Base: 2 * time.Millisecond, Max: 250 * time.Millisecond, Seed: seed}
+	}
+	var first [8]time.Duration
+	for attempt := range first {
+		first[attempt] = mk(7).Backoff(attempt)
+	}
+	// Fresh policy values, reversed order, with another seed's schedule
+	// interleaved: every delay must reproduce.
+	for attempt := len(first) - 1; attempt >= 0; attempt-- {
+		_ = mk(99).Backoff(attempt) // interleaved foreign schedule
+		if got := mk(7).Backoff(attempt); got != first[attempt] {
+			t.Fatalf("attempt %d: %v after reseed, want %v", attempt, got, first[attempt])
+		}
+	}
+	// And reseeding with a different value actually changes the schedule.
+	diff := false
+	for attempt := range first {
+		if mk(8).Backoff(attempt) != first[attempt] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("seeds 7 and 8 produced identical schedules")
+	}
+}
+
+// TestTransientNetworkClassification covers the network-boundary error
+// classes layered on top of the filesystem classifier.
+func TestTransientNetworkClassification(t *testing.T) {
+	transient := []error{
+		syscall.ECONNREFUSED,
+		syscall.ECONNRESET,
+		syscall.EPIPE,
+		syscall.EHOSTUNREACH,
+		context.DeadlineExceeded,
+		io.ErrUnexpectedEOF,
+		fmt.Errorf("Get \"http://x\": %w", syscall.ECONNREFUSED),
+		&net.OpError{Op: "dial", Err: syscall.ECONNREFUSED},
+		syscall.EIO, // the filesystem set still applies
+		statusErr{503},
+		statusErr{429},
+	}
+	for _, err := range transient {
+		if !TransientNetwork(err) {
+			t.Errorf("TransientNetwork(%v) = false, want true", err)
+		}
+	}
+	permanent := []error{
+		nil,
+		context.Canceled,
+		errors.New("unrecognized"),
+		syscall.ENOSPC,
+		statusErr{404},
+		statusErr{400},
+	}
+	for _, err := range permanent {
+		if TransientNetwork(err) {
+			t.Errorf("TransientNetwork(%v) = true, want false", err)
+		}
+	}
+}
+
+// statusErr models the remote store's self-classifying HTTP errors.
+type statusErr struct{ status int }
+
+func (e statusErr) Error() string   { return fmt.Sprintf("status %d", e.status) }
+func (e statusErr) Transient() bool { return e.status >= 500 || e.status == 429 }

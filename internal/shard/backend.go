@@ -1,0 +1,139 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tifs/internal/retry"
+	"tifs/internal/store"
+	"tifs/internal/vfs"
+)
+
+// ErrManifestUnchanged tells ManifestBackend.Update that fn decided not
+// to mutate the manifest: the backend skips the write-back and reports
+// success.
+var ErrManifestUnchanged = errors.New("shard: manifest unchanged")
+
+// ManifestBackend is the transactional seam under the Coordinator: one
+// Update call reads the current manifest image, applies a mutation, and
+// persists the replacement, atomically with respect to every other
+// Update on the same sweep. FileManifest implements it with an flock
+// and an atomic rename on a shared filesystem; remotestore implements
+// it with an ETag compare-and-swap against a tifsserve manifest, so a
+// sweep can coordinate over plain HTTP with no common filesystem.
+//
+// fn receives nil on first use (no manifest yet) and may run more than
+// once — a CAS backend replays it against a newer image after a
+// conflict — so it must be a pure function of its input.
+type ManifestBackend interface {
+	Update(fn func(cur []byte) ([]byte, error)) error
+}
+
+// FileManifest coordinates through shards.manifest in a store
+// directory, mutated only under the shards.lock flock and replaced
+// atomically (write-temp, fsync, rename), so every transition has
+// exactly one winner no matter how many workers race for it.
+type FileManifest struct {
+	// Dir is the coordination directory (normally the store directory).
+	Dir string
+	// FS is the filesystem the manifest lives on (the fault seam;
+	// vfs.OS when nil).
+	FS vfs.FS
+	// Retry is the backoff policy for transient manifest I/O faults —
+	// the lock, the read, and the atomic write-back each ride out
+	// flaky-NFS-class errors under it.
+	Retry retry.Policy
+}
+
+var _ ManifestBackend = (*FileManifest)(nil)
+
+func (f *FileManifest) fs() vfs.FS {
+	if f.FS != nil {
+		return f.FS
+	}
+	return vfs.OS
+}
+
+// Update implements ManifestBackend under the exclusive flock.
+func (f *FileManifest) Update(fn func(cur []byte) ([]byte, error)) error {
+	fsys := f.fs()
+	if err := fsys.MkdirAll(f.Dir, 0o755); err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	lf, err := f.openLockRetry(fsys)
+	if err != nil {
+		return err
+	}
+	defer lf.Close()
+	defer lf.Unlock()
+
+	path := filepath.Join(f.Dir, manifestName)
+	data, err := f.readManifestRetry(fsys, path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		data = nil // first use
+	case err != nil:
+		return fmt.Errorf("shard: %w", err)
+	}
+
+	out, err := fn(data)
+	if err != nil {
+		if errors.Is(err, ErrManifestUnchanged) {
+			return nil
+		}
+		return err
+	}
+	// Durable replacement (fsync before rename, directory fsync after): a
+	// torn manifest would not corrupt results, but the strict parser
+	// would refuse it and wedge every worker until an operator deleted
+	// the file. Transient faults anywhere in the write-back are retried
+	// whole — AtomicWriteFileFS leaves the old manifest intact on any
+	// failure, so re-running it is always safe.
+	if err := f.Retry.Do(func() error { return store.AtomicWriteFileFS(fsys, path, out) }); err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	return nil
+}
+
+// openLockRetry opens the coordination lock file and blocks for its
+// exclusive lock, riding out transient faults on either step.
+func (f *FileManifest) openLockRetry(fsys vfs.FS) (vfs.File, error) {
+	var lf vfs.File
+	err := f.Retry.Do(func() error {
+		fl, err := fsys.OpenFile(filepath.Join(f.Dir, manifestLock), os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			return err
+		}
+		if err := fl.Lock(); err != nil {
+			fl.Close()
+			return err
+		}
+		lf = fl
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("shard: lock %s: %w", filepath.Join(f.Dir, manifestLock), err)
+	}
+	return lf, nil
+}
+
+// readManifestRetry reads the manifest, riding out transient faults.
+// A missing manifest is not a fault — it is first use.
+func (f *FileManifest) readManifestRetry(fsys vfs.FS, path string) (data []byte, err error) {
+	err = f.Retry.Do(func() error {
+		data, err = fsys.ReadFile(path)
+		if errors.Is(err, os.ErrNotExist) {
+			return nil // surfaced through the data==nil err return below
+		}
+		return err
+	})
+	if err == nil {
+		if data == nil {
+			return nil, os.ErrNotExist
+		}
+		return data, nil
+	}
+	return nil, err
+}

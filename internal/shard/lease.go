@@ -3,14 +3,12 @@ package shard
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
 	"tifs/internal/retry"
-	"tifs/internal/store"
 	"tifs/internal/vfs"
 )
 
@@ -182,11 +180,12 @@ func parseLease(line string) (Lease, error) {
 // spurious takeovers — duplicated work, never wrong results.
 const DefaultTTL = 10 * time.Minute
 
-// Coordinator mediates shard assignment through the manifest in a store
-// directory. All mutations run under an exclusive flock of shards.lock
-// and replace the manifest atomically (write-temp, rename), so every
-// transition — including the takeover of an expired lease — has exactly
-// one winner, no matter how many workers race for it.
+// Coordinator mediates shard assignment through the sweep manifest. All
+// mutations run as one ManifestBackend.Update transaction — an
+// exclusive flock plus atomic rename for the file backend, an ETag
+// compare-and-swap for the remote one — so every transition, including
+// the takeover of an expired lease, has exactly one winner, no matter
+// how many workers race for it.
 type Coordinator struct {
 	dir  string
 	grid Grid
@@ -198,12 +197,17 @@ type Coordinator struct {
 	// Now is the clock (overridable in tests).
 	Now func() time.Time
 	// FS is the filesystem the manifest lives on (the fault seam;
-	// vfs.OS outside tests).
+	// vfs.OS outside tests). Only consulted by the file backend.
 	FS vfs.FS
 	// Retry is the backoff policy for transient manifest I/O faults —
 	// the read and the atomic write-back each ride out flaky-NFS-class
-	// errors under it before the operation is reported failed.
+	// errors under it before the operation is reported failed. Only
+	// consulted by the file backend; a remote backend carries its own
+	// policy.
 	Retry retry.Policy
+	// Backend overrides where the manifest lives (nil selects a
+	// FileManifest in dir).
+	Backend ManifestBackend
 }
 
 // NewCoordinator prepares shard coordination for grid split count ways,
@@ -220,6 +224,20 @@ func NewCoordinator(dir string, grid Grid, count int) *Coordinator {
 	}
 }
 
+// NewCoordinatorBackend prepares shard coordination through an
+// arbitrary manifest backend — the remote-sweep entry point, where the
+// manifest lives behind a tifsserve URL instead of a shared directory.
+func NewCoordinatorBackend(b ManifestBackend, grid Grid, count int) *Coordinator {
+	return &Coordinator{
+		grid:    grid,
+		hash:    grid.Hash(),
+		count:   count,
+		TTL:     DefaultTTL,
+		Now:     time.Now,
+		Backend: b,
+	}
+}
+
 // RenewInterval is the cadence at which a worker holding a lease should
 // renew it: a third of the TTL, so two renewals can fail transiently
 // before the lease actually lapses.
@@ -230,125 +248,69 @@ func (c *Coordinator) RenewInterval() time.Duration {
 	return c.TTL / 3
 }
 
-// update runs fn against the current manifest under the coordination
-// lock, creating the manifest on first use, and persists fn's changes
-// atomically. fn may return errNoWrite to skip the write-back.
-var errNoWrite = errors.New("shard: no manifest change")
-
+// update runs fn against the current manifest as one backend
+// transaction, creating the manifest on first use, and persists fn's
+// changes atomically. fn may return ErrManifestUnchanged to skip the
+// write-back.
 func (c *Coordinator) update(fn func(m *Manifest) error) error {
 	if c.count < 1 || c.count > maxShards {
 		return fmt.Errorf("shard: implausible shard count %d", c.count)
 	}
-	fsys := c.fs()
-	if err := fsys.MkdirAll(c.dir, 0o755); err != nil {
-		return fmt.Errorf("shard: %w", err)
-	}
-	lf, err := c.openLockRetry(fsys)
-	if err != nil {
-		return err
-	}
-	defer lf.Close()
-	defer lf.Unlock()
-
-	path := filepath.Join(c.dir, manifestName)
-	var m Manifest
-	data, err := c.readManifestRetry(fsys, path)
-	switch {
-	case errors.Is(err, os.ErrNotExist):
-		m = Manifest{GridHash: c.hash, Count: c.count, Shards: make([]Lease, c.count)}
-		for i := range m.Shards {
-			m.Shards[i] = Lease{Index: i, State: StateFree}
-		}
-	case err != nil:
-		return fmt.Errorf("shard: %w", err)
-	default:
-		if m, err = parseManifest(data); err != nil {
-			return err
-		}
-		if m.GridHash != c.hash || m.Count != c.count {
-			// A manifest whose every shard is done belongs to a finished
-			// sweep: its results live safely in the store and it has no
-			// further claim on the directory, so a sweep of a new shape
-			// simply replaces it. An *unfinished* sweep is protected —
-			// mismatched workers are turned away loudly.
-			if !m.allDone() {
-				if m.Count != c.count {
-					return fmt.Errorf("shard: manifest splits the sweep %d ways, this worker expects %d (an unfinished sweep owns %s; finish it or delete the file)", m.Count, c.count, path)
+	return c.backend().Update(func(cur []byte) ([]byte, error) {
+		var m Manifest
+		if cur == nil {
+			m = c.freshManifest()
+		} else {
+			var err error
+			if m, err = parseManifest(cur); err != nil {
+				return nil, err
+			}
+			if m.GridHash != c.hash || m.Count != c.count {
+				// A manifest whose every shard is done belongs to a finished
+				// sweep: its results live safely in the store and it has no
+				// further claim on the directory, so a sweep of a new shape
+				// simply replaces it. An *unfinished* sweep is protected —
+				// mismatched workers are turned away loudly.
+				if !m.allDone() {
+					if m.Count != c.count {
+						return nil, fmt.Errorf("shard: manifest splits the sweep %d ways, this worker expects %d (an unfinished sweep owns %s; finish it or delete the file)", m.Count, c.count, c.where())
+					}
+					return nil, fmt.Errorf("shard: manifest grid %.12s… != this worker's grid %.12s… — either this worker's options diverge from the sweep's, or an unfinished sweep with different options owns %s (finish it or delete the file)", m.GridHash, c.hash, c.where())
 				}
-				return fmt.Errorf("shard: manifest grid %.12s… != this worker's grid %.12s… — either this worker's options diverge from the sweep's, or an unfinished sweep with different options owns %s (finish it or delete the file)", m.GridHash, c.hash, path)
-			}
-			m = Manifest{GridHash: c.hash, Count: c.count, Shards: make([]Lease, c.count)}
-			for i := range m.Shards {
-				m.Shards[i] = Lease{Index: i, State: StateFree}
+				m = c.freshManifest()
 			}
 		}
-	}
-
-	if err := fn(&m); err != nil {
-		if errors.Is(err, errNoWrite) {
-			return nil
+		if err := fn(&m); err != nil {
+			return nil, err
 		}
-		return err
-	}
-	// Durable replacement (fsync before rename, directory fsync after): a
-	// torn manifest would not corrupt results, but the strict parser
-	// would refuse it and wedge every worker until an operator deleted
-	// the file. Transient faults anywhere in the write-back are retried
-	// whole — AtomicWriteFileFS leaves the old manifest intact on any
-	// failure, so re-running it is always safe.
-	if err := c.Retry.Do(func() error { return store.AtomicWriteFileFS(fsys, path, m.encode()) }); err != nil {
-		return fmt.Errorf("shard: %w", err)
-	}
-	return nil
-}
-
-// fs returns the coordination filesystem (vfs.OS unless injected).
-func (c *Coordinator) fs() vfs.FS {
-	if c.FS != nil {
-		return c.FS
-	}
-	return vfs.OS
-}
-
-// openLockRetry opens the coordination lock file and blocks for its
-// exclusive lock, riding out transient faults on either step.
-func (c *Coordinator) openLockRetry(fsys vfs.FS) (vfs.File, error) {
-	var lf vfs.File
-	err := c.Retry.Do(func() error {
-		f, err := fsys.OpenFile(filepath.Join(c.dir, manifestLock), os.O_RDWR|os.O_CREATE, 0o644)
-		if err != nil {
-			return err
-		}
-		if err := f.Lock(); err != nil {
-			f.Close()
-			return err
-		}
-		lf = f
-		return nil
+		return m.encode(), nil
 	})
-	if err != nil {
-		return nil, fmt.Errorf("shard: lock %s: %w", filepath.Join(c.dir, manifestLock), err)
-	}
-	return lf, nil
 }
 
-// readManifestRetry reads the manifest, riding out transient faults.
-// A missing manifest is not a fault — it is first use.
-func (c *Coordinator) readManifestRetry(fsys vfs.FS, path string) (data []byte, err error) {
-	err = c.Retry.Do(func() error {
-		data, err = fsys.ReadFile(path)
-		if errors.Is(err, os.ErrNotExist) {
-			return nil // surfaced through the data==nil err return below
-		}
-		return err
-	})
-	if err == nil {
-		if data == nil {
-			return nil, os.ErrNotExist
-		}
-		return data, nil
+// freshManifest is the first-use coordination state: every shard free.
+func (c *Coordinator) freshManifest() Manifest {
+	m := Manifest{GridHash: c.hash, Count: c.count, Shards: make([]Lease, c.count)}
+	for i := range m.Shards {
+		m.Shards[i] = Lease{Index: i, State: StateFree}
 	}
-	return nil, err
+	return m
+}
+
+// backend returns the manifest backend (a FileManifest in dir unless
+// one was injected).
+func (c *Coordinator) backend() ManifestBackend {
+	if c.Backend != nil {
+		return c.Backend
+	}
+	return &FileManifest{Dir: c.dir, FS: c.FS, Retry: c.Retry}
+}
+
+// where names the manifest's location for operator-facing errors.
+func (c *Coordinator) where() string {
+	if c.dir != "" {
+		return filepath.Join(c.dir, manifestName)
+	}
+	return "the sweep manifest"
 }
 
 // Manifest returns a validated snapshot of the coordination state.
@@ -357,7 +319,7 @@ func (c *Coordinator) Manifest() (Manifest, error) {
 	err := c.update(func(m *Manifest) error {
 		snap = *m
 		snap.Shards = append([]Lease{}, m.Shards...)
-		return errNoWrite
+		return ErrManifestUnchanged
 	})
 	return snap, err
 }
@@ -368,6 +330,10 @@ func (c *Coordinator) Manifest() (Manifest, error) {
 func (c *Coordinator) ClaimAny(owner string) (index int, ok bool, err error) {
 	now := c.Now()
 	err = c.update(func(m *Manifest) error {
+		// Reset on entry: a CAS backend replays fn against a newer image
+		// after a lost write race, and a claim granted in the discarded
+		// round must not leak out of it.
+		index, ok = 0, false
 		for i := range m.Shards {
 			if c.claimable(m.Shards[i], now) {
 				m.Shards[i] = Lease{Index: i, State: StateClaimed, Owner: owner, Expires: now.Add(c.TTL).Unix()}
@@ -375,7 +341,7 @@ func (c *Coordinator) ClaimAny(owner string) (index int, ok bool, err error) {
 				return nil
 			}
 		}
-		return errNoWrite
+		return ErrManifestUnchanged
 	})
 	return index, ok && err == nil, err
 }
@@ -440,11 +406,29 @@ func (c *Coordinator) Release(index int, owner string) error {
 		}
 		l := m.Shards[index]
 		if l.State != StateClaimed || l.Owner != owner {
-			return errNoWrite
+			return ErrManifestUnchanged
 		}
 		m.Shards[index] = Lease{Index: index, State: StateFree}
 		return nil
 	})
+}
+
+// ReleaseAfter is the release a worker performs on its way out of a
+// failed shard run, gated on why the run ended. When runErr says the
+// lease was lost — a peer took the shard over, or the renewer presumed
+// it lost after failures spanning the TTL — the worker must NOT
+// release: by the time it acts, the shard may be validly claimed by a
+// new owner, and if that owner's identity string collides with this
+// worker's (host-pid owner names recur when a host reuses a pid), a
+// plain Release would pass the ownership check and rewrite the new
+// claim to free, double-assigning the shard. Ceding the lease to the
+// TTL is always safe; releasing over a live claim never is. Any other
+// failure releases normally so the fleet can reclaim immediately.
+func (c *Coordinator) ReleaseAfter(runErr error, index int, owner string) error {
+	if errors.Is(runErr, ErrLeaseLost) {
+		return nil
+	}
+	return c.Release(index, owner)
 }
 
 // Complete marks a shard done. Done is terminal and idempotent: the

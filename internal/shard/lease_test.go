@@ -1,6 +1,8 @@
 package shard
 
 import (
+	"errors"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -166,6 +168,61 @@ func TestFinishedSweepYieldsToNewGrid(t *testing.T) {
 	}
 	if m.Count != 3 || m.Shards[idx].Owner != "bob" {
 		t.Errorf("replacement manifest wrong: %+v", m)
+	}
+}
+
+// TestReleaseAfterLostLeaseIsNoOp is the pid-reuse regression: a worker
+// whose renewer presumed the lease lost (a partition outlasting the
+// TTL) must not release on its way out, because the shard may since
+// have been claimed by a new worker carrying the *same* owner string —
+// host-pid names recur when a host reuses a pid — and the ownership
+// check in Release cannot tell the two apart. ReleaseAfter gates on the
+// run error instead.
+func TestReleaseAfterLostLeaseIsNoOp(t *testing.T) {
+	dir := t.TempDir()
+	g := testGrid(t, 4_000)
+	const owner = "host-42" // same string for zombie and successor
+
+	// The zombie's claim expires immediately; a successor with the same
+	// owner name takes the shard over.
+	zombie := testCoordinator(t, dir, g, 1)
+	zombie.TTL = -time.Second
+	if _, ok, err := zombie.ClaimAny(owner); err != nil || !ok {
+		t.Fatalf("zombie claim: ok=%v err=%v", ok, err)
+	}
+	successor := testCoordinator(t, dir, g, 1)
+	if _, ok, err := successor.ClaimAny(owner); err != nil || !ok {
+		t.Fatalf("successor takeover: ok=%v err=%v", ok, err)
+	}
+
+	// The zombie finally exits with the error its renewer latched while
+	// partitioned. ReleaseAfter must leave the successor's claim alone.
+	runErr := fmt.Errorf("shard: lease presumed lost after 9 failed renewals spanning 30s (TTL 10s): i/o timeout: %w", ErrLeaseLost)
+	if err := zombie.ReleaseAfter(runErr, 0, owner); err != nil {
+		t.Fatalf("ReleaseAfter(lost): %v", err)
+	}
+	m, err := successor.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := m.Shards[0]; l.State != StateClaimed || l.Owner != owner {
+		t.Fatalf("zombie's exit released the successor's live claim: %+v", l)
+	}
+	if err := successor.Renew(0, owner); err != nil {
+		t.Fatalf("successor lost its lease to a zombie release: %v", err)
+	}
+
+	// Any failure that is NOT a lost lease still releases promptly so the
+	// fleet can reclaim without waiting out the TTL.
+	if err := successor.ReleaseAfter(errors.New("simulation panic"), 0, owner); err != nil {
+		t.Fatalf("ReleaseAfter(other): %v", err)
+	}
+	m, err = successor.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := m.Shards[0]; l.State != StateFree {
+		t.Fatalf("ordinary failure did not release: %+v", l)
 	}
 }
 

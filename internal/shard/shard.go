@@ -4,12 +4,16 @@
 //
 // The paper's evaluation is a grid of independent (workload, mechanism,
 // budget) simulations. Each grid point already has a canonical,
-// cross-process-stable key (engine.Job.Key, engine.TraceJob.Key), so the
-// partition is content-addressed: grid point k belongs to shard
-// SHA-256(k) mod N. Every worker derives the identical assignment from
-// the grid alone — no coordinator hands out work item by item, and a
-// worker that dies loses only its shard, which any peer can re-claim
-// after its lease expires (lease.go).
+// cross-process-stable key (engine.Job.Key, engine.TraceJob.Key), and
+// the partition is a pure function of the grid: points sorted by
+// descending event weight are placed greedily onto the lightest shard
+// (longest-processing-time scheduling), so shards balance by simulated
+// work rather than point count — a sweep mixing full-scale and small
+// jobs no longer leaves one worker running long after the rest idle.
+// Every worker derives the identical assignment from the grid alone —
+// no coordinator hands out work item by item, and a worker that dies
+// loses only its shard, which any peer can re-claim after its lease
+// expires (lease.go).
 //
 // A sweep then runs as:
 //
@@ -30,7 +34,6 @@ package shard
 
 import (
 	"crypto/sha256"
-	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -68,27 +71,94 @@ func (g Grid) Hash() string {
 	return fmt.Sprintf("%x", h.Sum(nil))
 }
 
-// IndexFor maps a canonical grid-point key onto one of count shards,
-// uniformly and deterministically on every machine.
-func IndexFor(key string, count int) int {
-	if count <= 1 {
-		return 0
+// jobWeight estimates a simulation's cost: the events it will execute
+// across its cores, mirroring the defaulting the simulator itself
+// applies (scale default when the budget is 0, 4 cores when unset).
+func jobWeight(j engine.Job) uint64 {
+	ev := j.Config.EventsPerCore
+	if ev == 0 {
+		ev = j.Scale.DefaultEvents()
 	}
-	sum := sha256.Sum256([]byte(key))
-	return int(binary.BigEndian.Uint64(sum[:8]) % uint64(count))
+	cores := j.Config.Cores
+	if cores <= 0 {
+		cores = 4
+	}
+	return ev * uint64(cores)
+}
+
+// traceWeight estimates an extraction's cost the same way.
+func traceWeight(t engine.TraceJob) uint64 {
+	ev := t.Events
+	if ev == 0 {
+		ev = t.Scale.AnalysisEvents()
+	}
+	cores := t.Cores
+	if cores <= 0 {
+		cores = 4
+	}
+	return ev * uint64(cores)
+}
+
+// assign computes the sweep's shard assignment, keyed by the grid's
+// namespaced canonical keys (the same "sim|"/"trace|" namespace Hash
+// uses). Points are sorted by descending weight — key ascending on
+// ties — and each placed on the lightest shard so far, lowest index on
+// ties (LPT greedy, within 4/3 of the optimal makespan). Every step is
+// a deterministic function of the grid alone, so all workers agree on
+// the assignment with no communication; ordering by (weight, key)
+// rather than enumeration order keeps it stable even if callers build
+// the same grid in different orders.
+func (g Grid) assign(count int) map[string]int {
+	out := make(map[string]int, g.Size())
+	type point struct {
+		key    string
+		weight uint64
+	}
+	pts := make([]point, 0, g.Size())
+	for _, j := range g.Jobs {
+		pts = append(pts, point{"sim|" + j.Key(), jobWeight(j)})
+	}
+	for _, t := range g.Traces {
+		pts = append(pts, point{"trace|" + t.Key(), traceWeight(t)})
+	}
+	if count <= 1 {
+		for _, p := range pts {
+			out[p.key] = 0
+		}
+		return out
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].weight != pts[j].weight {
+			return pts[i].weight > pts[j].weight
+		}
+		return pts[i].key < pts[j].key
+	})
+	load := make([]uint64, count)
+	for _, p := range pts {
+		best := 0
+		for s := 1; s < count; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		out[p.key] = best
+		load[best] += p.weight
+	}
+	return out
 }
 
 // Shard returns the subset of the grid owned by shard index of count,
 // preserving enumeration order within the subset.
 func (g Grid) Shard(index, count int) Grid {
+	a := g.assign(count)
 	var out Grid
 	for _, j := range g.Jobs {
-		if IndexFor(j.Key(), count) == index {
+		if a["sim|"+j.Key()] == index {
 			out.Jobs = append(out.Jobs, j)
 		}
 	}
 	for _, t := range g.Traces {
-		if IndexFor(t.Key(), count) == index {
+		if a["trace|"+t.Key()] == index {
 			out.Traces = append(out.Traces, t)
 		}
 	}

@@ -54,13 +54,10 @@ func TestPartitionIsDeterministicAndComplete(t *testing.T) {
 			sub := g.Shard(i, count)
 			total += sub.Size()
 			for _, j := range sub.Jobs {
-				seen[j.Key()]++
-				if got := IndexFor(j.Key(), count); got != i {
-					t.Errorf("count=%d: job in shard %d hashes to %d", count, i, got)
-				}
+				seen["sim|"+j.Key()]++
 			}
 			for _, tr := range sub.Traces {
-				seen[tr.Key()]++
+				seen["trace|"+tr.Key()]++
 			}
 		}
 		if total != g.Size() {
@@ -77,6 +74,61 @@ func TestPartitionIsDeterministicAndComplete(t *testing.T) {
 	a, b := g.Shard(1, 4), g.Shard(1, 4)
 	if len(a.Jobs) != len(b.Jobs) || len(a.Traces) != len(b.Traces) {
 		t.Error("repartition changed shard contents")
+	}
+}
+
+// TestPartitionBalancesByWeight: the partition weighs grid points by
+// their event budgets, not point count — the LPT guarantee that matters
+// is that the few expensive jobs of a mixed sweep spread across shards
+// instead of hashing onto one unlucky worker.
+func TestPartitionBalancesByWeight(t *testing.T) {
+	g := testGrid(t, 1_000)
+	// Add 4 jobs that each dwarf the rest of the grid combined.
+	spec, _ := workload.ByName("OLTP-DB2")
+	for _, budget := range []uint64{50_000_000, 50_000_001, 50_000_002, 50_000_003} {
+		g.Jobs = append(g.Jobs, engine.Job{
+			Spec:  spec,
+			Scale: workload.ScaleSmall,
+			Config: sim.Config{
+				EventsPerCore: budget,
+				Mechanism:     sim.Baseline(),
+			},
+		})
+	}
+	const count = 4
+	weights := make([]uint64, count)
+	huge := make([]int, count)
+	for i := 0; i < count; i++ {
+		sub := g.Shard(i, count)
+		for _, j := range sub.Jobs {
+			weights[i] += jobWeight(j)
+			if j.Config.EventsPerCore >= 50_000_000 {
+				huge[i]++
+			}
+		}
+		for _, tr := range sub.Traces {
+			weights[i] += traceWeight(tr)
+		}
+	}
+	// Each giant job lands on its own shard...
+	for i, n := range huge {
+		if n != 1 {
+			t.Errorf("shard %d carries %d of the 4 dominant jobs, want exactly 1 (loads: %v)", i, n, weights)
+		}
+	}
+	// ...and no shard is empty or grossly overloaded relative to the mean.
+	var total uint64
+	for _, w := range weights {
+		total += w
+	}
+	mean := total / count
+	for i, w := range weights {
+		if w == 0 {
+			t.Errorf("shard %d is empty", i)
+		}
+		if w > mean*2 {
+			t.Errorf("shard %d carries %d of mean %d — partition is not weight-balanced", i, w, mean)
+		}
 	}
 }
 

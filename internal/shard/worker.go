@@ -93,8 +93,12 @@ func startRenewer(renew func() error, interval, ttl time.Duration) *renewer {
 					if errors.Is(err, ErrLeaseLost) {
 						r.err = fmt.Errorf("shard: lease lost: %w", err)
 					} else {
-						r.err = fmt.Errorf("shard: lease presumed lost after %d failed renewals spanning %v (TTL %v): %w",
-							failures, elapsed.Round(time.Millisecond), ttl, err)
+						// Presumed-lost wraps ErrLeaseLost too: the lease may
+						// already belong to a new owner, so the exits gated on
+						// a lost lease (ReleaseAfter's no-op above all) must
+						// treat both diagnoses the same way.
+						r.err = fmt.Errorf("shard: lease presumed lost after %d failed renewals spanning %v (TTL %v): %v: %w",
+							failures, elapsed.Round(time.Millisecond), ttl, err, ErrLeaseLost)
 					}
 				}
 				r.mu.Unlock()
@@ -135,7 +139,7 @@ func (r *renewer) Stop() {
 // over after an expiry, or renewals kept failing for longer than ttl
 // (the Coordinator's lease TTL; 0 derives one from the interval) — Run
 // stops at the next batch boundary and returns the error.
-func Run(ctx context.Context, st *store.Store, g Grid, index, count, parallelism int, renew func() error, renewInterval, ttl time.Duration) (rep Report, err error) {
+func Run(ctx context.Context, st store.Backend, g Grid, index, count, parallelism int, renew func() error, renewInterval, ttl time.Duration) (rep Report, err error) {
 	if count < 1 {
 		return Report{}, fmt.Errorf("shard: count %d < 1", count)
 	}
@@ -149,7 +153,7 @@ func Run(ctx context.Context, st *store.Store, g Grid, index, count, parallelism
 	rep = Report{Index: index, Count: count, Jobs: len(sub.Jobs), Traces: len(sub.Traces)}
 
 	e := engine.New(parallelism)
-	e.SetStore(st)
+	e.SetBackend(st)
 	r := startRenewer(renew, renewInterval, ttl)
 	defer r.Stop()
 	// Fill the counters on every exit path (rep is a named result, so
@@ -192,7 +196,7 @@ func Run(ctx context.Context, st *store.Store, g Grid, index, count, parallelism
 // Missing reports which of the grid's points are absent from the store —
 // the merge pass's preflight check. An empty result means a merge will
 // assemble entirely from store hits.
-func Missing(st *store.Store, g Grid) (jobs []engine.Job, traces []engine.TraceJob) {
+func Missing(st store.Backend, g Grid) (jobs []engine.Job, traces []engine.TraceJob) {
 	for _, j := range g.Jobs {
 		if !st.HasResult(j.Key()) {
 			jobs = append(jobs, j)

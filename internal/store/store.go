@@ -521,7 +521,12 @@ func (s *Store) appendLocked(rec []byte) error {
 // entry still lands in memory, this run's numbers are unaffected, and
 // the next process re-simulates what never reached disk.
 func (s *Store) put(kind byte, key string, payload []byte) {
-	addr := address(kind, key)
+	s.putAddr(address(kind, key), payload)
+}
+
+// putAddr is put for callers that already hold the content address (the
+// typed putters, and the blob API the remote store protocol uses).
+func (s *Store) putAddr(addr [sha256.Size]byte, payload []byte) {
 	rec := appendRecord(make([]byte, 0, sha256.Size+binary.MaxVarintLen64+len(payload)+4), addr, payload)
 
 	s.mu.Lock()

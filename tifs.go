@@ -23,6 +23,7 @@ package tifs
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"os"
 
 	"tifs/internal/analysis"
@@ -30,6 +31,8 @@ import (
 	"tifs/internal/engine"
 	"tifs/internal/experiments"
 	"tifs/internal/isa"
+	"tifs/internal/netfault"
+	"tifs/internal/remotestore"
 	"tifs/internal/shard"
 	"tifs/internal/sim"
 	"tifs/internal/store"
@@ -207,6 +210,16 @@ func SimulateAllStoredContext(ctx context.Context, jobs []SimJob, parallelism in
 	return e.RunAll(ctx, jobs)
 }
 
+// SimulateAllBackendContext is SimulateAllStoredContext over any store
+// backend — local, remote, or nil (no persistence). Results remain
+// byte-identical whichever backend is attached, and whether it hits,
+// misses, or degrades.
+func SimulateAllBackendContext(ctx context.Context, jobs []SimJob, parallelism int, st StoreBackend) []SimResult {
+	e := engine.New(parallelism)
+	e.SetBackend(st)
+	return e.RunAll(ctx, jobs)
+}
+
 // StoreCompaction reports what a result-store GC pass reclaimed.
 type StoreCompaction = store.CompactStats
 
@@ -258,17 +271,29 @@ type ShardReport = shard.Report
 // than waiting out the TTL), everything simulated so far stays in the
 // store, and the partial report returns alongside ctx's error.
 func ShardedSweep(ctx context.Context, dir string, index, count int, g SweepGrid, o ExperimentOptions) (ShardReport, error) {
-	c := shard.NewCoordinator(dir, g, count)
+	st, err := store.Open(dir)
+	if err != nil {
+		return ShardReport{}, fmt.Errorf("tifs: %w", err)
+	}
+	defer st.Close()
+	return sweepShard(ctx, shard.NewCoordinator(dir, g, count), st, g, index, count, o)
+}
+
+// sweepShard claims, runs, and settles one shard against any coordinator
+// backend (local flock manifest or remote CAS manifest) and any store
+// backend (local directory or remote client).
+func sweepShard(ctx context.Context, c *shard.Coordinator, st StoreBackend, g SweepGrid, index, count int, o ExperimentOptions) (ShardReport, error) {
 	owner := sweepOwner()
 	if err := c.Claim(index, owner); err != nil {
 		return ShardReport{}, fmt.Errorf("tifs: %w", err)
 	}
-	rep, err := runShard(ctx, dir, c, g, index, count, owner, o)
+	rep, err := runShard(ctx, c, st, g, index, count, owner, o)
 	if err != nil {
-		// Hand the shard back: only this owner's claimed lease is freed,
-		// so a racing takeover is never clobbered. Best-effort — if the
-		// release itself fails the lease simply expires on its TTL.
-		c.Release(index, owner)
+		// Hand the shard back — unless the run died because the lease was
+		// (or is presumed) lost, in which case a successor may already own
+		// it and a release would clobber the takeover; the no-op lets the
+		// old claim expire on its TTL instead. Best-effort either way.
+		c.ReleaseAfter(err, index, owner)
 		return rep, err
 	}
 	if err := c.Complete(index); err != nil {
@@ -283,7 +308,17 @@ func ShardedSweep(ctx context.Context, dir string, index, count int, g SweepGrid
 // workers against one dir to run a whole sweep with no manual shard
 // numbering.
 func ShardedSweepAuto(ctx context.Context, dir string, count int, g SweepGrid, o ExperimentOptions) ([]ShardReport, error) {
-	c := shard.NewCoordinator(dir, g, count)
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("tifs: %w", err)
+	}
+	defer st.Close()
+	return sweepAuto(ctx, shard.NewCoordinator(dir, g, count), st, g, count, o)
+}
+
+// sweepAuto is the self-assigning claim loop over any coordinator and
+// store backend pair.
+func sweepAuto(ctx context.Context, c *shard.Coordinator, st StoreBackend, g SweepGrid, count int, o ExperimentOptions) ([]ShardReport, error) {
 	owner := sweepOwner()
 	var reports []ShardReport
 	for {
@@ -297,9 +332,9 @@ func ShardedSweepAuto(ctx context.Context, dir string, count int, g SweepGrid, o
 		if !ok {
 			return reports, nil
 		}
-		rep, err := runShard(ctx, dir, c, g, index, count, owner, o)
+		rep, err := runShard(ctx, c, st, g, index, count, owner, o)
 		if err != nil {
-			c.Release(index, owner)
+			c.ReleaseAfter(err, index, owner)
 			return reports, err
 		}
 		reports = append(reports, rep)
@@ -309,21 +344,16 @@ func ShardedSweepAuto(ctx context.Context, dir string, count int, g SweepGrid, o
 	}
 }
 
-// MissingFromStore reports the grid points absent from a store — the
-// preflight for a merge pass. Empty results mean the merge will assemble
-// entirely from store hits.
-func MissingFromStore(st *ResultStore, g SweepGrid) (jobs []SimJob, traces []TraceJob) {
+// MissingFromStore reports the grid points absent from a store backend
+// (local or remote) — the preflight for a merge pass. Empty results mean
+// the merge will assemble entirely from store hits.
+func MissingFromStore(st StoreBackend, g SweepGrid) (jobs []SimJob, traces []TraceJob) {
 	return shard.Missing(st, g)
 }
 
-// runShard opens the worker's store handle and executes one shard under
-// a live lease.
-func runShard(ctx context.Context, dir string, c *shard.Coordinator, g SweepGrid, index, count int, owner string, o ExperimentOptions) (ShardReport, error) {
-	st, err := store.Open(dir)
-	if err != nil {
-		return ShardReport{}, fmt.Errorf("tifs: %w", err)
-	}
-	defer st.Close()
+// runShard executes one shard against an open store backend under a live
+// lease.
+func runShard(ctx context.Context, c *shard.Coordinator, st StoreBackend, g SweepGrid, index, count int, owner string, o ExperimentOptions) (ShardReport, error) {
 	rep, err := shard.Run(ctx, st, g, index, count, o.Parallelism, func() error {
 		return c.Renew(index, owner)
 	}, c.RenewInterval(), c.TTL)
@@ -340,6 +370,88 @@ func sweepOwner() string {
 		host = "unknown-host"
 	}
 	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
+
+// StoreBackend is the narrow interface the engine and sweep machinery
+// require of a result store: typed get/put/has by canonical key, under
+// the store's one-way defensiveness contract (a get may miss for any
+// reason — the caller recomputes — but never returns different bytes).
+// *ResultStore is the local implementation; RemoteStore the HTTP one.
+type StoreBackend = store.Backend
+
+// RemoteStore is a result-store backend served by a tifsserve process
+// over HTTP, wrapped in the full robustness stack: per-operation
+// deadlines, capped-backoff retries on transient network faults, hedged
+// reads, and a circuit breaker that degrades to local computation —
+// queueing write-backs and reconciling them when the server recovers —
+// so a remote outage costs time, never correctness and never progress.
+type RemoteStore = remotestore.Client
+
+// RemoteStoreStats counts a remote store client's network activity:
+// hits, retries, hedges, breaker opens, and queued/flushed/dropped
+// write-backs.
+type RemoteStoreStats = remotestore.Stats
+
+// DialRemoteStore connects to a tifsserve base URL (e.g.
+// "http://host:8419"). httpClient nil uses http.DefaultClient; pass a
+// custom client to set transport options or inject faults
+// (NetFaultTransport). Dialing performs no I/O — a dead server surfaces
+// as degraded operation, not a constructor error; use Ping to probe.
+// Close the client to flush queued write-backs.
+func DialRemoteStore(base string, httpClient *http.Client) *RemoteStore {
+	return remotestore.NewClient(base, httpClient)
+}
+
+// NewSimEngineBackend is NewSimEngine backed by a store backend (local
+// or remote) instead of a local store handle.
+func NewSimEngineBackend(parallelism int, st StoreBackend) *SimEngine {
+	e := engine.New(parallelism)
+	e.SetBackend(st)
+	return e
+}
+
+// RemoteShardedSweep is ShardedSweep coordinated through a tifsserve
+// URL instead of a shared store directory: blobs travel over the remote
+// store client and the lease manifest lives on the server, updated by
+// compare-and-swap, so workers on different machines need share nothing
+// but the URL. Results merge byte-identical to a local or storeless run.
+//
+// Store operations degrade under server outages (compute locally, queue
+// write-backs, reconcile on recovery); lease coordination deliberately
+// does not — an outage longer than the lease TTL surfaces as a lost
+// lease, exactly as it must.
+func RemoteShardedSweep(ctx context.Context, url string, httpClient *http.Client, index, count int, g SweepGrid, o ExperimentOptions) (ShardReport, error) {
+	client := remotestore.NewClient(url, httpClient)
+	defer client.Close()
+	c := shard.NewCoordinatorBackend(remotestore.NewManifestClient(url, httpClient), g, count)
+	return sweepShard(ctx, c, client, g, index, count, o)
+}
+
+// RemoteShardedSweepAuto is ShardedSweepAuto against a tifsserve URL:
+// lease-based self-assignment with no shared filesystem.
+func RemoteShardedSweepAuto(ctx context.Context, url string, httpClient *http.Client, count int, g SweepGrid, o ExperimentOptions) ([]ShardReport, error) {
+	client := remotestore.NewClient(url, httpClient)
+	defer client.Close()
+	c := shard.NewCoordinatorBackend(remotestore.NewManifestClient(url, httpClient), g, count)
+	return sweepAuto(ctx, c, client, g, count, o)
+}
+
+// NetFaultTransport builds a deterministic fault-injecting HTTP
+// transport from a comma-separated rule spec, for exercising the remote
+// store's failure paths reproducibly (tifsbench -netfault, CI). Each
+// rule reads mode:method:path-substring:nth[:times] with modes drop
+// (reset the connection), torn (cut the response body mid-read),
+// latency<duration> (delay, honoring cancellation), or a bare status
+// code (synthesize that response); nth is the 1-based matching request
+// the fault first fires on, times repeats it (-1 = forever). Example:
+//
+//	drop:GET:/v1/blob:1,503:PUT:/v1/blob:2:3,latency500ms:GET:/v1/manifest:1
+func NetFaultTransport(spec string, inner http.RoundTripper) (http.RoundTripper, error) {
+	rules, err := netfault.ParseRules(spec)
+	if err != nil {
+		return nil, fmt.Errorf("tifs: %w", err)
+	}
+	return netfault.New(inner, rules...), nil
 }
 
 // SimEngine is the concurrency-bounded, memoizing simulation scheduler
