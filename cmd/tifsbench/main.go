@@ -38,6 +38,15 @@
 // byte-identical regardless. -netfault injects deterministic network
 // faults (drops, latency, 5xx, torn bodies) into the remote client for
 // testing that machinery.
+//
+// With -submit, the whole run happens on the server instead: the
+// experiment selection is posted to tifsserve's job API, progress
+// events stream to stderr, and the finished tables — byte-identical to
+// a local run — print to stdout. Identical concurrent submissions
+// single-flight onto one server-side execution, and a warm server
+// answers from its store without simulating at all:
+//
+//	tifsbench -experiment fig13 -scale small -submit http://host:8419
 package main
 
 import (
@@ -93,6 +102,7 @@ func run() int {
 		parallel   = flag.Int("parallelism", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 		cacheDir   = flag.String("cache-dir", "", "persistent result store directory (empty = disabled)")
 		remote     = flag.String("remote", "", "tifsserve base URL (e.g. http://host:8419); replaces -cache-dir for runs, -shard, and -merge")
+		submit     = flag.String("submit", "", "submit the run as a job to a tifsserve URL and stream its progress; the server executes it")
 		netFault   = flag.String("netfault", "", "inject deterministic network faults into -remote traffic: 'mode:method:path:nth[:times],...' (testing)")
 		shardSpec  = flag.String("shard", "", "run as a sweep worker: 'i/N' (0-based) or 'auto/N'; requires -cache-dir or -remote")
 		merge      = flag.Bool("merge", false, "assemble experiment output from the shared store after shard workers finish; requires -cache-dir or -remote")
@@ -180,8 +190,8 @@ func run() int {
 	// transport in the deterministic fault injector.
 	var httpClient *http.Client
 	if *netFault != "" {
-		if *remote == "" {
-			fmt.Fprintln(os.Stderr, "-netfault requires -remote")
+		if *remote == "" && *submit == "" {
+			fmt.Fprintln(os.Stderr, "-netfault requires -remote or -submit")
 			return 2
 		}
 		rt, err := tifs.NetFaultTransport(*netFault, nil)
@@ -192,6 +202,9 @@ func run() int {
 		httpClient = &http.Client{Transport: rt}
 	}
 
+	if *submit != "" {
+		return runSubmit(ctx, *submit, httpClient, ids, o)
+	}
 	if *shardSpec != "" {
 		return runShardWorker(ctx, *shardSpec, *cacheDir, *remote, httpClient, ids, o)
 	}
@@ -201,7 +214,7 @@ func run() int {
 
 	switch {
 	case *remote != "":
-		rs := tifs.DialRemoteStore(*remote, httpClient)
+		rs := tifs.DialRemoteStoreContext(ctx, *remote, httpClient)
 		defer func() {
 			fmt.Fprintln(os.Stderr, rs.Stats())
 			if err := rs.Close(); err != nil {
@@ -247,6 +260,72 @@ func interrupted(ctx context.Context) int {
 	}
 	fmt.Fprintln(os.Stderr, "tifsbench: interrupted — output above is partial")
 	return exitInterrupted
+}
+
+// runSubmit ships the run to a sweep service: it posts the experiment
+// selection as a job, streams progress to stderr, and prints the
+// server-rendered tables — byte-identical to a local run — to stdout.
+// A duplicate of in-flight work joins the existing job (reported on
+// stderr) rather than re-running it.
+func runSubmit(ctx context.Context, url string, httpClient *http.Client, ids []string, o tifs.ExperimentOptions) int {
+	c := tifs.DialJobService(url, httpClient)
+	c.Name = submitClientName()
+	req := tifs.JobRequest{
+		Experiments: ids,
+		Workloads:   o.Workloads,
+		Scale:       fmt.Sprint(o.Scale),
+		Events:      o.Events,
+		Cores:       o.Cores,
+	}
+	st, err := tifs.SubmitJob(ctx, c, req)
+	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "tifsbench: interrupted before the job was accepted")
+			return exitInterrupted
+		}
+		fmt.Fprintln(os.Stderr, "tifsbench:", err)
+		return 1
+	}
+	if st.Deduped {
+		fmt.Fprintf(os.Stderr, "tifsbench: job %s deduplicated — joined identical in-flight work (state %s)\n", st.ID, st.State)
+	} else {
+		fmt.Fprintf(os.Stderr, "tifsbench: job %s accepted\n", st.ID)
+	}
+	final, err := tifs.WatchJob(ctx, c, st.ID, func(ev tifs.JobEvent) {
+		switch ev.Kind {
+		case "experiment-start":
+			fmt.Fprintf(os.Stderr, "tifsbench: job %s: experiment %s (sims so far: %d run, %d store hits)\n",
+				st.ID, ev.Phase, ev.SimsRun, ev.StoreHits)
+		case "failed":
+			fmt.Fprintf(os.Stderr, "tifsbench: job %s failed: %s\n", st.ID, ev.Msg)
+		}
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "tifsbench: interrupted — the job keeps running server-side; resubmit the same flags to rejoin it")
+			return exitInterrupted
+		}
+		fmt.Fprintln(os.Stderr, "tifsbench:", err)
+		return 1
+	}
+	if final.State != tifs.JobDone {
+		fmt.Fprintf(os.Stderr, "tifsbench: job %s %s: %s\n", final.ID, final.State, final.Error)
+		return 1
+	}
+	fmt.Print(final.Output)
+	fmt.Fprintf(os.Stderr, "tifsbench: job %s done — simulations run: %d, store hits: %d\n",
+		final.ID, final.SimsRun, final.StoreHits)
+	return interrupted(ctx)
+}
+
+// submitClientName identifies this process for the service's per-client
+// fairness accounting.
+func submitClientName() string {
+	host, err := os.Hostname()
+	if err != nil {
+		host = "unknown-host"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
 }
 
 // runShardWorker executes one sweep worker: shard "i/N" pins a shard,
@@ -332,7 +411,7 @@ func runMerge(ctx context.Context, cacheDir, remote string, httpClient *http.Cli
 	}
 	var st tifs.StoreBackend
 	if remote != "" {
-		rs := tifs.DialRemoteStore(remote, httpClient)
+		rs := tifs.DialRemoteStoreContext(ctx, remote, httpClient)
 		defer func() {
 			fmt.Fprintln(os.Stderr, rs.Stats())
 			rs.Close()

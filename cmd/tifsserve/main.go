@@ -1,21 +1,30 @@
-// Command tifsserve serves a result-store directory over HTTP, so
-// sharded sweep workers on other machines can share results and lease
-// coordination with no common filesystem — they need only this URL.
+// Command tifsserve serves a result-store directory over HTTP — and,
+// by default, runs the sweep service on top of it, so clients can
+// submit whole simulations and sweeps as jobs instead of shipping
+// blobs.
 //
 // Usage:
 //
 //	tifsserve -dir /var/tifs/store -addr :8419
 //
-// The protocol is the small content-addressed blob + manifest API in
-// internal/remotestore: GET/PUT /v1/blob/{addr}, GET/PUT /v1/manifest
-// (ETag compare-and-swap), GET /v1/ping. The server is just another
-// store writer — it can share the directory with local tifsbench runs,
-// and -store-gc compaction applies as usual once it is stopped.
+// Two protocols share the listener:
 //
-// Workers tolerate the server dying: their clients degrade to local
-// computation and queue write-backs, so kill -9 and a restart lose no
-// work and corrupt no results (the store's crash-safety and the
-// client's reconcile-on-recovery both hold).
+//   - the content-addressed blob + manifest API in internal/remotestore
+//     (GET/PUT /v1/blob/{addr}, GET/PUT /v1/manifest with ETag
+//     compare-and-swap, GET /v1/ping), used by sharded sweep workers;
+//   - the job API in internal/sweepd (POST /v1/jobs, GET /v1/jobs/{id},
+//     GET /v1/jobs/{id}/events), used by tifsbench/tifssim -submit:
+//     jobs execute on an in-process engine backed by the same store, so
+//     repeated work is a warm hit, identical concurrent submissions
+//     single-flight onto one execution, and admission control (429 +
+//     Retry-After) bounds the backlog. Disable with -jobs=false.
+//
+// The server is just another store writer — it can share the directory
+// with local tifsbench runs, and -store-gc compaction applies as usual
+// once it is stopped. Workers tolerate the server dying: their clients
+// degrade to local computation and queue write-backs, so kill -9 and a
+// restart lose no work and corrupt no results (the store's crash-safety
+// and the client's reconcile-on-recovery both hold).
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 
 	"tifs/internal/remotestore"
 	"tifs/internal/store"
+	"tifs/internal/sweepd"
 )
 
 func main() {
@@ -40,8 +50,13 @@ func main() {
 
 func run() int {
 	var (
-		dir  = flag.String("dir", "", "result store directory to serve (required; created if absent)")
-		addr = flag.String("addr", ":8419", "listen address")
+		dir         = flag.String("dir", "", "result store directory to serve (required; created if absent)")
+		addr        = flag.String("addr", ":8419", "listen address")
+		jobs        = flag.Bool("jobs", true, "run the sweep service (POST /v1/jobs) on this store")
+		parallelism = flag.Int("parallelism", 0, "concurrent simulations in the job engine (0 = GOMAXPROCS)")
+		maxActive   = flag.Int("max-active-jobs", 0, "concurrently executing jobs (0 = default 2)")
+		maxQueued   = flag.Int("max-queued-jobs", 0, "queued jobs across all clients before 429 (0 = default 64)")
+		maxPerCli   = flag.Int("max-queued-per-client", 0, "queued jobs per client before 429 (0 = default 4)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -59,9 +74,29 @@ func run() int {
 		st.Close()
 	}()
 
+	// The job API takes the /v1/jobs routes; everything else falls
+	// through to the blob/manifest protocol.
+	mux := http.NewServeMux()
+	mux.Handle("/", remotestore.NewServer(st, *dir).Handler())
+	var svc *sweepd.Service
+	if *jobs {
+		svc = sweepd.New(sweepd.Config{
+			Parallelism: *parallelism,
+			Backend:     st,
+			MaxActive:   *maxActive, MaxQueued: *maxQueued, MaxQueuedPerClient: *maxPerCli,
+		})
+		svc.Register(mux)
+		defer func() {
+			eng := svc.Engine()
+			fmt.Fprintf(os.Stderr, "tifsserve: job engine ran %d simulations, %d store hits\n",
+				eng.SimulationsRun(), eng.StoreHits())
+			svc.Close()
+		}()
+	}
+
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: remotestore.NewServer(st, *dir).Handler(),
+		Handler: mux,
 		// Bound header reads so a stuck peer cannot pin a connection
 		// forever; bodies are already bounded by the protocol's limits.
 		ReadHeaderTimeout: 10 * time.Second,
@@ -72,8 +107,12 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "tifsserve:", err)
 		return 1
 	}
-	fmt.Fprintf(os.Stderr, "tifsserve: serving %s on http://%s (format v%d)\n",
-		*dir, ln.Addr(), store.FormatVersion)
+	mode := "store only"
+	if *jobs {
+		mode = "store + jobs"
+	}
+	fmt.Fprintf(os.Stderr, "tifsserve: serving %s on http://%s (format v%d, %s)\n",
+		*dir, ln.Addr(), store.FormatVersion, mode)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()

@@ -5,6 +5,12 @@
 // Usage:
 //
 //	tifssim -workload OLTP-Oracle -scale medium -mechanism tifs-virtualized
+//
+// With -submit, the simulation runs on a tifsserve sweep service
+// instead of locally; the report bytes are identical either way, and a
+// warm server answers from its result store without simulating:
+//
+//	tifssim -workload OLTP-Oracle -mechanism tifs-virtualized -submit http://host:8419
 package main
 
 import (
@@ -40,27 +46,6 @@ func signalContext() (context.Context, context.CancelFunc) {
 	return ctx, cancel
 }
 
-func mechanismByName(name string) (tifs.Mechanism, error) {
-	switch name {
-	case "next-line", "baseline":
-		return tifs.NextLineOnly(), nil
-	case "fdip":
-		return tifs.FDIP(), nil
-	case "discontinuity":
-		return tifs.Discontinuity(), nil
-	case "tifs", "tifs-unbounded":
-		return tifs.TIFS(tifs.TIFSUnbounded()), nil
-	case "tifs-dedicated":
-		return tifs.TIFS(tifs.TIFSDedicated()), nil
-	case "tifs-virtualized":
-		return tifs.TIFS(tifs.TIFSVirtualized()), nil
-	case "perfect":
-		return tifs.Perfect(), nil
-	default:
-		return tifs.Mechanism{}, fmt.Errorf("unknown mechanism %q", name)
-	}
-}
-
 func main() {
 	os.Exit(run())
 }
@@ -75,6 +60,7 @@ func run() int {
 		baseline  = flag.Bool("baseline", true, "also run the next-line baseline and report speedup")
 		cacheDir  = flag.String("cache-dir", "", "persistent result store directory (empty = disabled)")
 		remote    = flag.String("remote", "", "tifsserve base URL (e.g. http://host:8419); remote result store instead of -cache-dir")
+		submit    = flag.String("submit", "", "submit the simulation as a job to a tifsserve URL; the server executes it and returns the report")
 		storeGC   = flag.Bool("store-gc", false, "compact the -cache-dir store (fold segments, drop dead bytes) and exit")
 	)
 	flag.Parse()
@@ -103,13 +89,17 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	mech, err := mechanismByName(*mechName)
+	mech, err := tifs.MechanismByName(*mechName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
 	ctx, stop := signalContext()
 	defer stop()
+
+	if *submit != "" {
+		return runSubmit(ctx, *submit, *name, *mechName, *scaleName, *baseline, *events, *cores)
+	}
 
 	// Run the mechanism and (when requested) its next-line baseline as one
 	// batch so they execute concurrently on multi-core hosts. With
@@ -118,7 +108,7 @@ func run() int {
 	var st tifs.StoreBackend
 	switch {
 	case *remote != "":
-		rs := tifs.DialRemoteStore(*remote, nil)
+		rs := tifs.DialRemoteStoreContext(ctx, *remote, nil)
 		defer func() {
 			fmt.Fprintln(os.Stderr, rs.Stats())
 			rs.Close()
@@ -150,29 +140,56 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "tifssim: interrupted — no report (partial results, if any, were saved to the cache)")
 		return exitInterrupted
 	}
-	r := results[0]
-
-	fmt.Printf("workload:   %s (%s scale, %d cores)\n", r.Workload, scale, *cores)
-	fmt.Printf("mechanism:  %s\n", r.Mechanism)
-	fmt.Printf("cycles:     %d (makespan)\n", r.Cycles)
-	fmt.Printf("instrs:     %d   IPC: %.3f\n", r.TotalInstrs, r.IPC())
-	fmt.Printf("fetch stall: %.1f%% of cycles\n", 100*r.FetchStallShare())
-	fmt.Printf("coverage:   %.1f%%   discards: %.1f%%\n", 100*r.Coverage(), 100*r.DiscardFrac())
-	fmt.Printf("prefetch:   issued=%d timely=%d late=%d\n",
-		r.Prefetch.Issued, r.Prefetch.HitsTimely, r.Prefetch.HitsLate)
-	if r.TIFS != nil {
-		fmt.Printf("tifs:       streams=%d lookups=%d indexMisses=%d pauses=%d resumes=%d\n",
-			r.TIFS.StreamsAllocated, r.TIFS.IndexLookups, r.TIFS.IndexMisses,
-			r.TIFS.Pauses, r.TIFS.Resumes)
-	}
-	var useful uint64
-	for _, s := range r.PerCore {
-		useful += s.PrefetchHits
-	}
-	fmt.Printf("L2 traffic overhead: %.1f%% of base\n", 100*r.Traffic.OverheadFrac(useful))
-
+	// Render through the shared report so local and -submit output are
+	// byte-identical by construction.
+	var base *tifs.SimResult
 	if wantBaseline {
-		fmt.Printf("speedup over next-line: %.3f\n", r.SpeedupOver(results[1]))
+		base = &results[1]
 	}
+	fmt.Print(tifs.SimReport(results[0], base, scale, *cores))
+	return 0
+}
+
+// runSubmit posts the simulation to a sweep service's job API and
+// prints the server-rendered report.
+func runSubmit(ctx context.Context, url, workload, mechanism, scale string, baseline bool, events uint64, cores int) int {
+	c := tifs.DialJobService(url, nil)
+	host, err := os.Hostname()
+	if err != nil {
+		host = "unknown-host"
+	}
+	c.Name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	st, err := tifs.SubmitJob(ctx, c, tifs.JobRequest{
+		Workload: workload, Mechanism: mechanism, Baseline: baseline,
+		Scale: scale, Events: events, Cores: cores,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tifssim:", err)
+		if ctx.Err() != nil {
+			return exitInterrupted
+		}
+		return 1
+	}
+	if st.Deduped {
+		fmt.Fprintf(os.Stderr, "tifssim: job %s deduplicated — joined identical in-flight work (state %s)\n", st.ID, st.State)
+	} else {
+		fmt.Fprintf(os.Stderr, "tifssim: job %s accepted\n", st.ID)
+	}
+	final, err := tifs.WatchJob(ctx, c, st.ID, nil)
+	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "tifssim: interrupted — the job keeps running server-side; resubmit the same flags to rejoin it")
+			return exitInterrupted
+		}
+		fmt.Fprintln(os.Stderr, "tifssim:", err)
+		return 1
+	}
+	if final.State != tifs.JobDone {
+		fmt.Fprintf(os.Stderr, "tifssim: job %s %s: %s\n", final.ID, final.State, final.Error)
+		return 1
+	}
+	fmt.Print(final.Output)
+	fmt.Fprintf(os.Stderr, "tifssim: job %s done — simulations run: %d, store hits: %d\n",
+		final.ID, final.SimsRun, final.StoreHits)
 	return 0
 }

@@ -111,8 +111,45 @@ type Engine struct {
 	// running job); a pooled steady-state run allocates nothing.
 	runners sync.Pool
 
+	// obs, when set, receives scheduling notifications (see Observer).
+	// Written once before work is submitted, read by worker goroutines.
+	obs Observer
+
 	runs      atomic.Uint64 // simulations actually executed (memo misses)
 	storeHits atomic.Uint64 // jobs satisfied from the persistent store
+}
+
+// Observer receives engine scheduling events, keyed by the canonical
+// job or trace key. Kinds:
+//
+//	EventSimStart/EventSimDone      a memo-missing simulation ran
+//	EventTraceStart/EventTraceDone  a memo-missing trace extraction ran
+//	EventStoreHit                   the persistent tier supplied the value
+//
+// Deduplicated work emits no event: a submission that joins an
+// in-flight or completed entry is invisible here, which is exactly what
+// makes the event stream a faithful account of work actually performed.
+// Callbacks run on worker goroutines and must be cheap and
+// concurrency-safe.
+type Observer func(kind, key string)
+
+// Observer event kinds.
+const (
+	EventSimStart   = "sim-start"
+	EventSimDone    = "sim-done"
+	EventTraceStart = "trace-start"
+	EventTraceDone  = "trace-done"
+	EventStoreHit   = "store-hit"
+)
+
+// SetObserver attaches a scheduling observer. Set it before submitting
+// work; it must not change while jobs are in flight.
+func (e *Engine) SetObserver(obs Observer) { e.obs = obs }
+
+func (e *Engine) notify(kind, key string) {
+	if e.obs != nil {
+		e.obs(kind, key)
+	}
 }
 
 // New creates an engine running at most parallelism simulations at once;
@@ -237,10 +274,12 @@ func (e *Engine) start(ctx context.Context, job Job) *simEntry {
 				e.storeHits.Add(1)
 				en.res = res
 				close(en.done)
+				e.notify(EventStoreHit, key)
 				return
 			}
 		}
 		e.runs.Add(1)
+		e.notify(EventSimStart, key)
 		r := e.runner()
 		// The pooled runner reuses its result buffers next run, so the
 		// memoized copy must own its memory.
@@ -250,6 +289,7 @@ func (e *Engine) start(ctx context.Context, job Job) *simEntry {
 			e.store.PutResult(key, en.res)
 		}
 		close(en.done)
+		e.notify(EventSimDone, key)
 	}()
 	return en
 }
@@ -358,10 +398,12 @@ func (e *Engine) MissTraces(ctx context.Context, spec workload.Spec, scale workl
 			e.storeHits.Add(1)
 			en.recs = recs
 			close(en.done)
+			e.notify(EventStoreHit, key)
 			return en.recs
 		}
 	}
 
+	e.notify(EventTraceStart, key)
 	gen := workload.Build(spec, scale, cores)
 	sources := gen.Sources()
 	recs := make([][]trace.MissRecord, cores)
@@ -392,5 +434,6 @@ func (e *Engine) MissTraces(ctx context.Context, spec workload.Spec, scale workl
 		e.store.PutMissTraces(key, en.recs)
 	}
 	close(en.done)
+	e.notify(EventTraceDone, key)
 	return en.recs
 }

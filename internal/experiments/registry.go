@@ -143,14 +143,55 @@ func ByID(id string) (Runner, bool) {
 // simulations common to several figures (the next-line baselines, the
 // repeated TIFS configurations, the per-workload miss traces) run once.
 func RunAll(o Options) string {
+	out, _ := RunSelected(nil, o, nil)
+	return out
+}
+
+// Progress observes a multi-experiment run: it is called with each
+// experiment's ID before it runs (done=false) and again when its output
+// is complete (done=true). The sweep service streams these as job
+// events; nil disables observation.
+type Progress func(id string, done bool)
+
+// RunSelected executes the named experiments (the full registry, in
+// paper order, when ids is empty) sharing one engine, so work common to
+// several experiments runs once. A single id renders that experiment's
+// bare output — byte-identical to RunExperiment/tifsbench -experiment
+// <id>; several (or all) render the "== id: description" sectioned
+// concatenation RunAll produces. An unknown id fails before anything
+// runs.
+func RunSelected(ids []string, o Options, progress Progress) (string, error) {
+	runners := make([]Runner, 0, len(ids))
+	if len(ids) == 0 {
+		runners = Registry()
+	} else {
+		for _, id := range ids {
+			r, ok := ByID(id)
+			if !ok {
+				return "", fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+			}
+			runners = append(runners, r)
+		}
+	}
 	if o.Engine == nil {
 		o.Engine = o.engine()
 	}
 	var b strings.Builder
-	for _, r := range Registry() {
-		fmt.Fprintf(&b, "== %s: %s\n\n", r.ID, r.Description)
-		b.WriteString(r.Run(o))
-		b.WriteString("\n")
+	for _, r := range runners {
+		if progress != nil {
+			progress(r.ID, false)
+		}
+		out := r.Run(o)
+		if len(runners) == 1 && len(ids) == 1 {
+			b.WriteString(out)
+		} else {
+			fmt.Fprintf(&b, "== %s: %s\n\n", r.ID, r.Description)
+			b.WriteString(out)
+			b.WriteString("\n")
+		}
+		if progress != nil {
+			progress(r.ID, true)
+		}
 	}
-	return b.String()
+	return b.String(), nil
 }

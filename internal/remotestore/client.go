@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"sync"
 	"time"
@@ -80,6 +82,13 @@ type Client struct {
 	base string
 	http *http.Client
 
+	// baseCtx bounds every operation the client starts on its own —
+	// blob gets/puts/has and recovery flushes. Cancelling it interrupts
+	// in-flight requests AND cuts retry backoff sleeps short, so a
+	// SIGINT-triggered shutdown never stalls for the retry budget
+	// against a dead server.
+	baseCtx context.Context
+
 	// Timeout bounds each network operation (one attempt, not the whole
 	// retry schedule).
 	Timeout time.Duration
@@ -105,10 +114,20 @@ type Client struct {
 	queue    []queued
 	queued   map[store.Addr]int // addr -> index in queue
 	stats    Stats
+
+	// flushWG tracks recovery flushes launched by the breaker's close
+	// transition, so Close can wait for them instead of reading the
+	// queue depth mid-flush (and reporting "0 undelivered" while a
+	// failed flush is still re-enqueueing).
+	flushWG sync.WaitGroup
 }
 
+// queued is one deferred write-back: the payload plus the (kind, key)
+// identity the server needs to verify the address on upload.
 type queued struct {
 	addr    store.Addr
+	kind    byte
+	key     string
 	payload []byte
 }
 
@@ -138,12 +157,26 @@ func (s Stats) String() string {
 // httpClient may be nil (http.DefaultClient); tests inject a
 // netfault-wrapped transport through it.
 func NewClient(base string, httpClient *http.Client) *Client {
+	return NewClientContext(context.Background(), base, httpClient)
+}
+
+// NewClientContext is NewClient with a base context bounding every
+// operation the client performs, including retry backoff waits and
+// recovery flushes. Cancel it to make an in-flight retry schedule
+// against a dead server return promptly (graceful shutdown); operations
+// after cancellation degrade to misses and queued write-backs exactly
+// like an outage.
+func NewClientContext(ctx context.Context, base string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	return &Client{
 		base:       base,
 		http:       httpClient,
+		baseCtx:    ctx,
 		Timeout:    DefaultTimeout,
 		Retry:      retry.Policy{Classify: retry.TransientNetwork},
 		BreakAfter: DefaultBreakAfter,
@@ -177,13 +210,22 @@ func (c *Client) Ping(ctx context.Context) error {
 
 func (c *Client) opCtx(ctx context.Context) (context.Context, context.CancelFunc) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = c.ctx()
 	}
 	timeout := c.Timeout
 	if timeout <= 0 {
 		timeout = DefaultTimeout
 	}
 	return context.WithTimeout(ctx, timeout)
+}
+
+// ctx returns the client's base context (Background for the zero-ish
+// construction paths that never set one).
+func (c *Client) ctx() context.Context {
+	if c.baseCtx != nil {
+		return c.baseCtx
+	}
+	return context.Background()
 }
 
 // drain consumes and closes a response body so the connection is reused.
@@ -236,11 +278,23 @@ func (c *Client) settle(probe bool, err error) {
 		c.failures = 0
 		wasOpen := !c.openedAt.IsZero()
 		c.openedAt = time.Time{}
-		c.mu.Unlock()
 		if wasOpen {
 			// Recovery: reconcile everything computed during the outage.
-			go c.Flush(context.Background())
+			// Registered with flushWG while the lock is held, so a Close
+			// racing this transition waits for the flush to settle.
+			c.flushWG.Add(1)
+			go func() {
+				defer c.flushWG.Done()
+				c.Flush(nil)
+			}()
 		}
+		c.mu.Unlock()
+		return
+	}
+	if errors.Is(err, context.Canceled) {
+		// The caller asked to stop (base-context shutdown), the server
+		// did not fail: neither a breaker failure nor a success.
+		c.mu.Unlock()
 		return
 	}
 	c.failures++
@@ -262,13 +316,22 @@ func (c *Client) settle(probe bool, err error) {
 // by address (content-addressed payloads are immutable, so the first
 // copy is as good as the last); bounded, dropping beyond the limit —
 // a dropped write-back stays recomputable forever.
-func (c *Client) enqueue(addr store.Addr, payload []byte) {
+func (c *Client) enqueue(q queued) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.push(q, true)
+}
+
+// push adds one write-back to the queue; the caller holds mu. fresh
+// distinguishes a newly deferred payload (counted in QueuedWrites) from
+// one re-queued by a failed flush, which was already counted when it
+// first entered the queue — counting it again would drift QueuedWrites
+// away from FlushedWrites+QueueDepth after every mid-flush failure.
+func (c *Client) push(q queued, fresh bool) {
 	if c.queued == nil {
 		c.queued = map[store.Addr]int{}
 	}
-	if _, dup := c.queued[addr]; dup {
+	if _, dup := c.queued[q.addr]; dup {
 		return
 	}
 	limit := c.QueueLimit
@@ -279,31 +342,36 @@ func (c *Client) enqueue(addr store.Addr, payload []byte) {
 		c.stats.DroppedWrites++
 		return
 	}
-	c.queued[addr] = len(c.queue)
-	c.queue = append(c.queue, queued{addr, payload})
-	c.stats.QueuedWrites++
+	c.queued[q.addr] = len(c.queue)
+	c.queue = append(c.queue, q)
+	if fresh {
+		c.stats.QueuedWrites++
+	}
 }
 
 // Flush synchronously delivers the write-back queue. Safe to call any
-// time; payloads that still fail re-queue. The breaker's close
-// transition calls it automatically — an explicit call (tifsbench does
-// one before exiting) bounds how much a crash could leave behind.
+// time; payloads that still fail re-queue (without re-counting as
+// queued). The breaker's close transition calls it automatically — an
+// explicit call (tifsbench does one before exiting) bounds how much a
+// crash could leave behind. A nil ctx uses the client's base context.
 func (c *Client) Flush(ctx context.Context) {
+	if ctx == nil {
+		ctx = c.ctx()
+	}
 	c.mu.Lock()
 	pending := c.queue
 	c.queue = nil
 	c.queued = nil
 	c.mu.Unlock()
 	for i, q := range pending {
-		if err := c.putBlobNet(ctx, q.addr, q.payload); err != nil {
+		if err := c.putBlobNet(ctx, q); err != nil {
 			// Server gone again: put everything undelivered back.
 			c.mu.Lock()
-			flushed := uint64(i)
-			c.stats.FlushedWrites += flushed
-			c.mu.Unlock()
+			c.stats.FlushedWrites += uint64(i)
 			for _, rest := range pending[i:] {
-				c.enqueue(rest.addr, rest.payload)
+				c.push(rest, false)
 			}
+			c.mu.Unlock()
 			return
 		}
 	}
@@ -344,7 +412,7 @@ func (c *Client) getBlob(addr store.Addr) ([]byte, bool) {
 	c.mu.Unlock()
 	var payload []byte
 	var found bool
-	err := c.doRetry(func() error {
+	err := c.doRetry(c.ctx(), func() error {
 		var err error
 		payload, found, err = c.getBlobOnce(addr)
 		return err
@@ -360,14 +428,16 @@ func (c *Client) getBlob(addr store.Addr) ([]byte, bool) {
 }
 
 // doRetry runs op under the client's retry policy, counting the extra
-// attempts.
-func (c *Client) doRetry(op func() error) error {
+// attempts. The schedule is bounded by ctx: a cancellation mid-backoff
+// cuts the sleep short and returns immediately, so shutdown never waits
+// out the retry budget against a dead server.
+func (c *Client) doRetry(ctx context.Context, op func() error) error {
 	attempt := 0
 	p := c.Retry
 	if p.Classify == nil {
 		p.Classify = retry.TransientNetwork
 	}
-	return p.Do(func() error {
+	return p.DoContext(ctx, func() error {
 		if attempt++; attempt > 1 {
 			c.mu.Lock()
 			c.stats.Retries++
@@ -382,7 +452,7 @@ func (c *Client) doRetry(op func() error) error {
 // cancelled. Reads are idempotent and the payloads content-addressed,
 // so the duplicate can never disagree.
 func (c *Client) getBlobOnce(addr store.Addr) (payload []byte, found bool, err error) {
-	ctx, cancel := c.opCtx(context.Background())
+	ctx, cancel := c.opCtx(c.ctx())
 	defer cancel()
 
 	delay := c.HedgeDelay
@@ -475,33 +545,37 @@ func (c *Client) fetch(ctx context.Context, addr store.Addr) ([]byte, bool, erro
 }
 
 // putBlob stores a payload, degrading to the write-back queue when the
-// server is unreachable. Fire-and-forget, like every Backend put.
-func (c *Client) putBlob(addr store.Addr, payload []byte) {
+// server is unreachable. Fire-and-forget, like every Backend put. The
+// (kind, key) identity travels with the upload so the server can verify
+// the address binding before admitting the bytes.
+func (c *Client) putBlob(kind byte, key string, payload []byte) {
+	q := queued{addr: store.Address(kind, key), kind: kind, key: key, payload: payload}
 	probe, ok := c.admit()
 	if !ok {
-		c.enqueue(addr, payload)
+		c.enqueue(q)
 		return
 	}
 	c.mu.Lock()
 	c.stats.Puts++
 	c.mu.Unlock()
-	err := c.putBlobNet(context.Background(), addr, payload)
+	err := c.putBlobNet(c.ctx(), q)
 	c.settle(probe, err)
 	if err != nil {
-		c.enqueue(addr, payload)
+		c.enqueue(q)
 	}
 }
 
 // putBlobNet is the raw retried upload.
-func (c *Client) putBlobNet(ctx context.Context, addr store.Addr, payload []byte) error {
-	return c.doRetry(func() error {
+func (c *Client) putBlobNet(ctx context.Context, q queued) error {
+	target := c.blobURL(q.addr) + "?kind=" + strconv.Itoa(int(q.kind)) + "&key=" + url.QueryEscape(q.key)
+	return c.doRetry(ctx, func() error {
 		ctx, cancel := c.opCtx(ctx)
 		defer cancel()
-		req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.blobURL(addr), bytes.NewReader(payload))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, target, bytes.NewReader(q.payload))
 		if err != nil {
 			return err
 		}
-		req.Header.Set(headerCRC, fmt.Sprintf("%08x", crc32.ChecksumIEEE(payload)))
+		req.Header.Set(headerCRC, fmt.Sprintf("%08x", crc32.ChecksumIEEE(q.payload)))
 		req.Header.Set("Content-Type", "application/octet-stream")
 		resp, err := c.http.Do(req)
 		if err != nil {
@@ -525,8 +599,8 @@ func (c *Client) hasBlob(addr store.Addr) bool {
 		return false
 	}
 	var found bool
-	err := c.doRetry(func() error {
-		ctx, cancel := c.opCtx(context.Background())
+	err := c.doRetry(c.ctx(), func() error {
+		ctx, cancel := c.opCtx(c.ctx())
 		defer cancel()
 		req, err := http.NewRequestWithContext(ctx, http.MethodHead, c.blobURL(addr), nil)
 		if err != nil {
@@ -572,7 +646,7 @@ func (c *Client) GetResult(key string) (sim.Result, bool) {
 
 // PutResult implements store.Backend.
 func (c *Client) PutResult(key string, r sim.Result) {
-	c.putBlob(store.Address(store.KindResult, key), store.EncodeResult(r))
+	c.putBlob(store.KindResult, key, store.EncodeResult(r))
 }
 
 // GetMissTraces implements store.Backend.
@@ -594,7 +668,7 @@ func (c *Client) PutMissTraces(key string, recs [][]trace.MissRecord) {
 	if err != nil {
 		return // unencodable payloads degrade to "never stored"
 	}
-	c.putBlob(store.Address(store.KindMissTraces, key), payload)
+	c.putBlob(store.KindMissTraces, key, payload)
 }
 
 // HasResult implements store.Backend.
@@ -608,10 +682,14 @@ func (c *Client) HasMissTraces(key string) bool {
 }
 
 // Close delivers any queued write-backs (best effort, bounded by the
-// op deadline per payload) and releases the client.
+// op deadline per payload and by the base context) and releases the
+// client. It first waits for any recovery flush the breaker launched
+// asynchronously — otherwise Close could report "0 undelivered" while
+// that flush was failing and re-enqueueing payloads.
 func (c *Client) Close() error {
+	c.flushWG.Wait()
 	if c.QueueDepth() > 0 {
-		c.Flush(context.Background())
+		c.Flush(nil)
 	}
 	if n := c.QueueDepth(); n > 0 {
 		return fmt.Errorf("remotestore: %d write-backs undelivered (results remain recomputable)", n)

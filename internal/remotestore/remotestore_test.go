@@ -1,9 +1,13 @@
 package remotestore
 
 import (
+	"bytes"
 	"context"
+	"encoding/hex"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -358,6 +362,243 @@ func TestManifestUpdateRidesOutFaults(t *testing.T) {
 	}
 	if l := m.Shards[0]; l.State != shard.StateClaimed || l.Owner != "alice" {
 		t.Fatalf("shard 0 after faulted claim: %+v", l)
+	}
+}
+
+// TestPutBlobAddressVerification: the server refuses uploads whose
+// (kind, key) identity does not hash to the claimed address, carries no
+// identity at all, or whose payload is not a valid encoding of its
+// kind — all permanent 400s, so a buggy client cannot poison the
+// content-addressed store for every other worker.
+func TestPutBlobAddressVerification(t *testing.T) {
+	srv, c := newRig(t, nil)
+	payload := store.EncodeResult(testResult())
+	addr := store.Address(store.KindResult, "good-key")
+	addrHex := hex.EncodeToString(addr[:])
+	put := func(path string, body []byte) int {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPut, srv.URL+path, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	kind := strconv.Itoa(int(store.KindResult))
+	if got := put("/v1/blob/"+addrHex, payload); got != http.StatusBadRequest {
+		t.Errorf("PUT without identity = %d, want 400", got)
+	}
+	if got := put("/v1/blob/"+addrHex+"?kind="+kind+"&key=wrong-key", payload); got != http.StatusBadRequest {
+		t.Errorf("PUT with mismatched key = %d, want 400", got)
+	}
+	wrongKind := strconv.Itoa(int(store.KindMissTraces))
+	if got := put("/v1/blob/"+addrHex+"?kind="+wrongKind+"&key=good-key", payload); got != http.StatusBadRequest {
+		t.Errorf("PUT with mismatched kind = %d, want 400", got)
+	}
+	if got := put("/v1/blob/"+addrHex+"?kind="+kind+"&key=good-key", []byte("not a result")); got != http.StatusBadRequest {
+		t.Errorf("PUT with undecodable payload = %d, want 400", got)
+	}
+	// None of the rejected uploads may have landed.
+	if _, ok := c.GetResult("good-key"); ok {
+		t.Fatal("a rejected upload poisoned the store")
+	}
+	// The verified path still works end to end (the client sends the
+	// identity on every upload).
+	if got := put("/v1/blob/"+addrHex+"?kind="+kind+"&key=good-key", payload); got != http.StatusNoContent {
+		t.Errorf("verified PUT = %d, want 204", got)
+	}
+	if _, ok := c.GetResult("good-key"); !ok {
+		t.Fatal("verified upload not readable")
+	}
+	// And the 400 is permanent for the client: no retry churn.
+	before := c.Stats().Retries
+	c.PutResult("ok", testResult())
+	if after := c.Stats().Retries; after != before {
+		t.Errorf("client PUT burned %d retries against a healthy server", after-before)
+	}
+}
+
+// TestFlushFailureCountsQueuedOnce: a mid-flush failure re-queues the
+// undelivered payloads without re-counting them as queued, so
+// QueuedWrites == FlushedWrites + QueueDepth holds after any number of
+// failed flushes.
+func TestFlushFailureCountsQueuedOnce(t *testing.T) {
+	// PUT #1 lands, every later PUT drops: the flush delivers exactly
+	// one payload and fails on the second.
+	f := netfault.New(nil,
+		netfault.Rule{Mode: netfault.ModeDrop, Method: "PUT", Path: "/v1/blob", Nth: 2, Times: -1})
+	_, c := newRig(t, f)
+	c.Retry.Attempts = 1
+
+	for _, key := range []string{"a", "b", "c"} {
+		c.enqueue(queued{
+			addr: store.Address(store.KindResult, key), kind: store.KindResult,
+			key: key, payload: store.EncodeResult(testResult()),
+		})
+	}
+	if s := c.Stats(); s.QueuedWrites != 3 {
+		t.Fatalf("QueuedWrites = %d after 3 enqueues, want 3", s.QueuedWrites)
+	}
+	c.Flush(context.Background())
+	s := c.Stats()
+	if s.FlushedWrites != 1 {
+		t.Errorf("FlushedWrites = %d, want 1 (only the first PUT landed)", s.FlushedWrites)
+	}
+	if d := c.QueueDepth(); d != 2 {
+		t.Errorf("QueueDepth = %d after failed flush, want 2", d)
+	}
+	if s.QueuedWrites != s.FlushedWrites+uint64(c.QueueDepth()) {
+		t.Errorf("counter drift: QueuedWrites=%d != FlushedWrites=%d + QueueDepth=%d",
+			s.QueuedWrites, s.FlushedWrites, c.QueueDepth())
+	}
+	// A second failed flush must not drift the counters either.
+	c.Flush(context.Background())
+	s = c.Stats()
+	if s.QueuedWrites != s.FlushedWrites+uint64(c.QueueDepth()) {
+		t.Errorf("counter drift after second flush: QueuedWrites=%d != FlushedWrites=%d + QueueDepth=%d",
+			s.QueuedWrites, s.FlushedWrites, c.QueueDepth())
+	}
+}
+
+// TestCancelMidBackoffReturnsPromptly: cancelling the client's base
+// context interrupts an in-flight retry/backoff schedule against a dead
+// server instead of stalling shutdown for the full retry budget.
+func TestCancelMidBackoffReturnsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	// Nothing listens on this address: every attempt fails fast with
+	// ECONNREFUSED and the schedule spends its time in backoff sleeps.
+	c := NewClientContext(ctx, "http://127.0.0.1:1", nil)
+	c.Timeout = time.Second
+	c.HedgeDelay = -1
+	c.Retry.Attempts = 10
+	c.Retry.Base = 500 * time.Millisecond
+	c.Retry.Max = 2 * time.Second
+
+	done := make(chan struct{})
+	start := time.Now()
+	go func() {
+		defer close(done)
+		if _, ok := c.GetResult("k"); ok {
+			t.Error("hit from a dead server")
+		}
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("GetResult still blocked 2s after cancel — backoff schedule not interrupted")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled get took %v", elapsed)
+	}
+	// Close after cancellation must not stall on undeliverable
+	// write-backs either.
+	closeStart := time.Now()
+	c.Close()
+	if elapsed := time.Since(closeStart); elapsed > 2*time.Second {
+		t.Fatalf("Close after cancel took %v", elapsed)
+	}
+}
+
+// TestManifestHead: HEAD /v1/manifest answers with the same ETag and
+// Content-Length as GET, and no body — the cheap existence probe for
+// sweep tooling.
+func TestManifestHead(t *testing.T) {
+	srv, _ := newRig(t, nil)
+
+	resp, err := http.Head(srv.URL + "/v1/manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("HEAD before create = %d, want 404", resp.StatusCode)
+	}
+
+	body := "owner 0 claimed"
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/v1/manifest", strings.NewReader(body))
+	req.Header.Set("If-None-Match", "*")
+	put, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put.Body.Close()
+	if put.StatusCode != http.StatusNoContent {
+		t.Fatalf("creating PUT = %d, want 204", put.StatusCode)
+	}
+
+	head, err := http.Head(srv.URL + "/v1/manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	headBody, _ := io.ReadAll(head.Body)
+	head.Body.Close()
+	if head.StatusCode != http.StatusOK {
+		t.Fatalf("HEAD after create = %d, want 200", head.StatusCode)
+	}
+	if len(headBody) != 0 {
+		t.Errorf("HEAD returned %d body bytes, want none", len(headBody))
+	}
+	if cl := head.Header.Get("Content-Length"); cl != strconv.Itoa(len(body)) {
+		t.Errorf("HEAD Content-Length = %q, want %d", cl, len(body))
+	}
+	get, err := http.Get(srv.URL + "/v1/manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if he, ge := head.Header.Get("ETag"), get.Header.Get("ETag"); he == "" || he != ge {
+		t.Errorf("HEAD ETag %q != GET ETag %q", he, ge)
+	}
+}
+
+// TestCloseWaitsForRecoveryFlush: the breaker's close transition
+// launches an async Flush; a racing Close must wait for it rather than
+// observe the queue mid-flush and report "0 undelivered" while the
+// failed flush is still re-enqueueing its payloads.
+func TestCloseWaitsForRecoveryFlush(t *testing.T) {
+	// GETs are clean, every PUT drops: the breaker recovers on a read
+	// probe but the recovery flush can never deliver.
+	f := netfault.New(nil,
+		netfault.Rule{Mode: netfault.ModeDrop, Method: "PUT", Path: "/v1/blob", Nth: 1, Times: -1})
+	_, c := newRig(t, f)
+	c.Retry.Attempts = 1
+	c.BreakAfter = 1
+	c.Cooldown = time.Millisecond
+
+	c.PutResult("a", testResult()) // PUT fails: breaker opens, payload queues
+	c.PutResult("b", testResult()) // degraded: queues
+	c.PutResult("c", testResult())
+	if d := c.QueueDepth(); d != 3 {
+		t.Fatalf("queue depth %d before recovery, want 3", d)
+	}
+	time.Sleep(2 * time.Millisecond)
+	// The probe GET succeeds (404 is a clean answer), closing the
+	// breaker and launching the async recovery flush — whose PUTs all
+	// fail and re-enqueue.
+	if _, ok := c.GetResult("a"); ok {
+		t.Fatal("unexpected hit")
+	}
+	err := c.Close()
+	if err == nil {
+		t.Fatal("Close reported success while write-backs were undeliverable")
+	}
+	if !strings.Contains(err.Error(), "3 write-backs") {
+		t.Errorf("Close error %q does not account for all 3 write-backs", err)
+	}
+	if d := c.QueueDepth(); d != 3 {
+		t.Errorf("queue depth %d after Close, want 3 (nothing delivered, nothing lost)", d)
+	}
+	s := c.Stats()
+	if s.QueuedWrites != s.FlushedWrites+uint64(c.QueueDepth()) {
+		t.Errorf("counter drift: QueuedWrites=%d != FlushedWrites=%d + QueueDepth=%d",
+			s.QueuedWrites, s.FlushedWrites, c.QueueDepth())
 	}
 }
 

@@ -17,6 +17,12 @@
 // carry X-Tifs-Crc32 so a torn transfer is detected at the boundary
 // instead of surfacing as a decode failure deep in a merge.
 //
+// Blob uploads additionally carry the (kind, key) identity the address
+// was derived from as query parameters; the server recomputes the
+// SHA-256 address over them and decode-validates the payload before
+// admitting it, so a buggy client cannot poison the shared store under
+// a wrong address (see putBlob).
+//
 // The correctness contract is the store's one-way defensiveness,
 // unchanged by the network: any failure anywhere — server down, request
 // torn, response corrupt — degrades to a cache miss and a local
@@ -159,10 +165,56 @@ func (s *Server) putBlob(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Server-side address verification: the CRC above only guards
+	// transport, so without this a buggy client could poison the
+	// content-addressed store under the wrong address for every worker.
+	// The upload must carry the (kind, key) identity the address was
+	// derived from; the server recomputes the SHA-256 address over it
+	// and refuses a mismatch permanently (400 — retrying an incoherent
+	// upload can never help). The payload must additionally decode as
+	// its claimed kind, so structurally corrupt bytes are rejected at
+	// the boundary instead of becoming a latent decode-miss for every
+	// future reader.
+	if err := verifyBlob(r, addr, payload); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	// Duplicate uploads of a content address are idempotent by
 	// construction; the store keeps the first and the bytes are equal.
 	s.st.PutBlob(addr, payload)
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// verifyBlob checks that an uploaded payload really belongs under addr:
+// the kind/key query parameters must hash to the claimed address and
+// the payload must be a valid encoding of that kind. Any failure is a
+// permanent client error.
+func verifyBlob(r *http.Request, addr store.Addr, payload []byte) error {
+	q := r.URL.Query()
+	kindStr, key := q.Get("kind"), q.Get("key")
+	if kindStr == "" || key == "" {
+		return errors.New("blob PUT requires kind and key query parameters for address verification")
+	}
+	kind, err := strconv.ParseUint(kindStr, 10, 8)
+	if err != nil {
+		return fmt.Errorf("malformed kind %q", kindStr)
+	}
+	if store.Address(byte(kind), key) != addr {
+		return errors.New("address does not match the claimed (kind, key) identity")
+	}
+	switch byte(kind) {
+	case store.KindResult:
+		if _, err := store.DecodeResult(payload); err != nil {
+			return fmt.Errorf("payload is not a valid result encoding: %v", err)
+		}
+	case store.KindMissTraces:
+		if _, err := store.DecodeMissTraces(payload); err != nil {
+			return fmt.Errorf("payload is not a valid miss-trace encoding: %v", err)
+		}
+	default:
+		return fmt.Errorf("unknown record kind %d", kind)
+	}
+	return nil
 }
 
 // manifestETag is the strong validator of a manifest image.

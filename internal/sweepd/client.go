@@ -1,0 +1,240 @@
+package sweepd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"tifs/internal/retry"
+)
+
+// DefaultControlTimeout bounds one control-plane attempt (submit,
+// status). Event streams are long-lived and bounded by ctx alone.
+const DefaultControlTimeout = 10 * time.Second
+
+// Client talks to a sweep service. Submissions are idempotent — the
+// service single-flights on the canonical job key — so the client
+// retries transient failures freely, waits out 429 Retry-After
+// backpressure, and resumes dropped event streams from the last
+// delivered sequence number.
+type Client struct {
+	base string
+	http *http.Client
+	// Name identifies this client for fairness accounting ("" lets the
+	// server fall back to the peer address).
+	Name string
+	// Timeout bounds one control-plane attempt (0 selects
+	// DefaultControlTimeout).
+	Timeout time.Duration
+	// Retry drives transient-failure handling (submit/status attempts
+	// and stream-reconnect pacing).
+	Retry retry.Policy
+}
+
+// NewClient makes a job client for a service base URL ("http://host:port").
+// nil httpClient selects http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{
+		base:  strings.TrimRight(base, "/"),
+		http:  httpClient,
+		Retry: retry.Policy{Classify: retry.TransientNetwork},
+	}
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return DefaultControlTimeout
+}
+
+// statusError is a non-2xx control-plane answer; 5xx are transient
+// (the service or a proxy hiccuped), 4xx are permanent.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("sweepd: server returned %d: %s", e.code, e.msg)
+}
+
+func (e *statusError) Transient() bool { return e.code >= 500 }
+
+// busyError is admission backpressure (429): not transient in the
+// retry-policy sense (hammering an overloaded server is the wrong
+// move) — Submit waits out Retry-After instead.
+type busyError struct {
+	after time.Duration
+	msg   string
+}
+
+func (e *busyError) Error() string   { return "sweepd: server busy: " + e.msg }
+func (e *busyError) Transient() bool { return false }
+
+func drainBody(resp *http.Response) string {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	return strings.TrimSpace(string(b))
+}
+
+// roundTrip performs one control-plane request and decodes a JobStatus
+// from a 2xx answer.
+func (c *Client) roundTrip(ctx context.Context, method, url string, body []byte) (JobStatus, error) {
+	rctx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(rctx, method, url, rd)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Name != "" {
+		req.Header.Set("X-Tifs-Client", c.Name)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		after := time.Second
+		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+			after = time.Duration(ra) * time.Second
+		}
+		return JobStatus{}, &busyError{after: after, msg: drainBody(resp)}
+	}
+	if resp.StatusCode/100 != 2 {
+		return JobStatus{}, &statusError{code: resp.StatusCode, msg: drainBody(resp)}
+	}
+	var st JobStatus
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("sweepd: malformed status from server: %w", err)
+	}
+	return st, nil
+}
+
+// Submit sends a job request and returns its (possibly deduplicated)
+// status. Transient network failures retry under c.Retry — safe because
+// a duplicate POST lands on the same single-flight job — and 429
+// backpressure waits out the server's Retry-After before trying again.
+func (c *Client) Submit(ctx context.Context, req JobRequest) (JobStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	for {
+		var st JobStatus
+		err := c.Retry.DoContext(ctx, func() error {
+			var err error
+			st, err = c.roundTrip(ctx, http.MethodPost, c.base+"/v1/jobs", body)
+			return err
+		})
+		var busy *busyError
+		if errors.As(err, &busy) {
+			select {
+			case <-time.After(busy.after):
+				continue
+			case <-ctx.Done():
+				return JobStatus{}, ctx.Err()
+			}
+		}
+		return st, err
+	}
+}
+
+// Status fetches a job's current status.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.Retry.DoContext(ctx, func() error {
+		var err error
+		st, err = c.roundTrip(ctx, http.MethodGet, c.base+"/v1/jobs/"+id, nil)
+		return err
+	})
+	return st, err
+}
+
+// Watch streams a job's events (each delivered to onEvent; nil
+// discards them) until the job reaches a terminal state, then returns
+// its final status. A dropped stream reconnects with ?from=<next seq>,
+// so no event is missed or duplicated across reconnects; if the job
+// finished during the outage, the terminal event is still on the log.
+func (c *Client) Watch(ctx context.Context, id string, onEvent func(Event)) (JobStatus, error) {
+	from := 0
+	attempt := 0
+	for {
+		terminal, err := c.stream(ctx, id, &from, onEvent)
+		if terminal {
+			return c.Status(ctx, id)
+		}
+		if ctx.Err() != nil {
+			return JobStatus{}, ctx.Err()
+		}
+		if err != nil && !retry.TransientNetwork(err) {
+			return JobStatus{}, err
+		}
+		// Transient drop (or a server that closed a quiet stream):
+		// back off briefly and resume from the next unseen event.
+		select {
+		case <-time.After(c.Retry.Backoff(attempt)):
+		case <-ctx.Done():
+			return JobStatus{}, ctx.Err()
+		}
+		attempt++
+	}
+}
+
+// stream consumes one events connection; it reports whether the
+// terminal event was delivered and advances *from past every event it
+// saw.
+func (c *Client) stream(ctx context.Context, id string, from *int, onEvent func(Event)) (bool, error) {
+	url := c.base + "/v1/jobs/" + id + "/events?from=" + strconv.Itoa(*from)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false, err
+	}
+	if c.Name != "" {
+		req.Header.Set("X-Tifs-Client", c.Name)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, &statusError{code: resp.StatusCode, msg: drainBody(resp)}
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				return false, nil
+			}
+			return false, err
+		}
+		*from = ev.Seq + 1
+		if onEvent != nil {
+			onEvent(ev)
+		}
+		if ev.Kind == EvDone || ev.Kind == EvFailed {
+			return true, nil
+		}
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"tifs/internal/shard"
 	"tifs/internal/sim"
 	"tifs/internal/store"
+	"tifs/internal/sweepd"
 	"tifs/internal/trace"
 	"tifs/internal/workload"
 )
@@ -402,6 +403,15 @@ func DialRemoteStore(base string, httpClient *http.Client) *RemoteStore {
 	return remotestore.NewClient(base, httpClient)
 }
 
+// DialRemoteStoreContext is DialRemoteStore with a base context: every
+// store operation (including retry backoff sleeps and queued write-back
+// flushes) aborts promptly when ctx is cancelled, so an interrupted
+// worker stops waiting on a dead server instead of riding out its
+// backoff schedule.
+func DialRemoteStoreContext(ctx context.Context, base string, httpClient *http.Client) *RemoteStore {
+	return remotestore.NewClientContext(ctx, base, httpClient)
+}
+
 // NewSimEngineBackend is NewSimEngine backed by a store backend (local
 // or remote) instead of a local store handle.
 func NewSimEngineBackend(parallelism int, st StoreBackend) *SimEngine {
@@ -421,7 +431,7 @@ func NewSimEngineBackend(parallelism int, st StoreBackend) *SimEngine {
 // does not — an outage longer than the lease TTL surfaces as a lost
 // lease, exactly as it must.
 func RemoteShardedSweep(ctx context.Context, url string, httpClient *http.Client, index, count int, g SweepGrid, o ExperimentOptions) (ShardReport, error) {
-	client := remotestore.NewClient(url, httpClient)
+	client := remotestore.NewClientContext(ctx, url, httpClient)
 	defer client.Close()
 	c := shard.NewCoordinatorBackend(remotestore.NewManifestClient(url, httpClient), g, count)
 	return sweepShard(ctx, c, client, g, index, count, o)
@@ -430,7 +440,7 @@ func RemoteShardedSweep(ctx context.Context, url string, httpClient *http.Client
 // RemoteShardedSweepAuto is ShardedSweepAuto against a tifsserve URL:
 // lease-based self-assignment with no shared filesystem.
 func RemoteShardedSweepAuto(ctx context.Context, url string, httpClient *http.Client, count int, g SweepGrid, o ExperimentOptions) ([]ShardReport, error) {
-	client := remotestore.NewClient(url, httpClient)
+	client := remotestore.NewClientContext(ctx, url, httpClient)
 	defer client.Close()
 	c := shard.NewCoordinatorBackend(remotestore.NewManifestClient(url, httpClient), g, count)
 	return sweepAuto(ctx, c, client, g, count, o)
@@ -495,3 +505,102 @@ func RunExperiment(id string, o ExperimentOptions) (string, error) {
 
 // RunAllExperiments executes the full registry in paper order.
 func RunAllExperiments(o ExperimentOptions) string { return experiments.RunAll(o) }
+
+// RunExperiments executes the named experiments (all of them when ids
+// is empty) sharing one engine, so simulations common to several
+// figures run once. One id renders that experiment's bare output
+// (byte-identical to RunExperiment); several render the sectioned
+// concatenation RunAllExperiments produces.
+func RunExperiments(ids []string, o ExperimentOptions) (string, error) {
+	out, err := experiments.RunSelected(ids, o, nil)
+	if err != nil {
+		return "", fmt.Errorf("tifs: %w", err)
+	}
+	return out, nil
+}
+
+// MechanismByName resolves the CLI mechanism names ("next-line",
+// "fdip", "discontinuity", "tifs-unbounded", "tifs-dedicated",
+// "tifs-virtualized", "perfect") to their constructors — the same
+// registry tifssim and the sweep service use.
+func MechanismByName(name string) (Mechanism, error) {
+	m, err := sim.MechanismByName(name)
+	if err != nil {
+		return Mechanism{}, fmt.Errorf("tifs: %w", err)
+	}
+	return m, nil
+}
+
+// SimReport renders the detailed single-simulation report tifssim
+// prints: cycles, IPC, fetch-stall share, coverage, the L2 traffic
+// ledger, and the speedup line when a next-line baseline accompanies
+// the run. The sweep service returns exactly these bytes for a
+// simulation-form job.
+func SimReport(r SimResult, baseline *SimResult, scale Scale, cores int) string {
+	return sim.Report(r, baseline, scale, cores)
+}
+
+// --- Sweep service -----------------------------------------------------
+
+// SweepService is the long-running job daemon behind tifsserve -jobs:
+// it owns one shared memoizing engine (optionally backed by the served
+// result store), accepts simulation and sweep submissions over HTTP,
+// single-flights identical jobs onto one execution, bounds concurrent
+// work with per-client fairness queues, and streams per-simulation
+// progress events. See internal/sweepd for the protocol.
+type SweepService = sweepd.Service
+
+// SweepServiceConfig sizes a service: engine parallelism, the persistent
+// store backend, and the admission-control bounds (MaxActive concurrent
+// jobs, MaxQueued / MaxQueuedPerClient queue depths — exceeding either
+// yields 429 with Retry-After).
+type SweepServiceConfig = sweepd.Config
+
+// Job types shared by the service and its client.
+type (
+	// JobRequest is a submission: either a sweep (Experiments/Workloads)
+	// or a single simulation (Workload/Mechanism/Baseline), plus the
+	// shared Scale/Events/Cores knobs.
+	JobRequest = sweepd.JobRequest
+	// JobStatus is a job's state, output, and engine-work counters.
+	JobStatus = sweepd.JobStatus
+	// JobEvent is one progress notification on a job's event stream.
+	JobEvent = sweepd.Event
+	// JobClient submits jobs and watches their event streams, retrying
+	// transient failures (submissions are idempotent under single-flight)
+	// and resuming dropped streams from the last delivered sequence
+	// number.
+	JobClient = sweepd.Client
+)
+
+// Job lifecycle states: queued -> running -> done | failed.
+const (
+	JobQueued  = sweepd.StateQueued
+	JobRunning = sweepd.StateRunning
+	JobDone    = sweepd.StateDone
+	JobFailed  = sweepd.StateFailed
+)
+
+// NewSweepService starts a sweep service; mount it on an http.ServeMux
+// with its Register method and stop it with Close.
+func NewSweepService(cfg SweepServiceConfig) *SweepService { return sweepd.New(cfg) }
+
+// DialJobService makes a job client for a tifsserve base URL. nil
+// httpClient uses http.DefaultClient; pass a custom client to inject
+// faults (NetFaultTransport) or set transport options.
+func DialJobService(base string, httpClient *http.Client) *JobClient {
+	return sweepd.NewClient(base, httpClient)
+}
+
+// SubmitJob submits a request to a sweep service and returns the
+// (possibly deduplicated) job status without waiting for completion.
+func SubmitJob(ctx context.Context, c *JobClient, req JobRequest) (JobStatus, error) {
+	return c.Submit(ctx, req)
+}
+
+// WatchJob streams a job's progress events (nil onEvent discards them)
+// until it completes, then returns its final status — including the
+// full rendered output, byte-identical to the equivalent local run.
+func WatchJob(ctx context.Context, c *JobClient, id string, onEvent func(JobEvent)) (JobStatus, error) {
+	return c.Watch(ctx, id, onEvent)
+}
