@@ -12,6 +12,11 @@
 // instead of re-simulating, printing byte-identical tables in a fraction
 // of the time. A store summary goes to stderr so stdout stays clean.
 //
+// -intra N shards event generation inside each simulation across N
+// producer goroutines with a deterministic merge at the shared uncore:
+// output bytes are identical at every setting, so it composes with
+// every mode below (and is excluded from -submit's dedup key).
+//
 // Sharded sweeps split one experiment grid across processes or machines
 // that share a -cache-dir (for machines: on a shared filesystem):
 //
@@ -100,6 +105,7 @@ func run() int {
 		events     = flag.Uint64("events", 0, "override per-core event budget (0 = scale default)")
 		cores      = flag.Int("cores", 4, "number of cores")
 		parallel   = flag.Int("parallelism", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		intra      = flag.Int("intra", 0, "producer shards inside each simulation (0/1 = serial; output bytes identical at every setting)")
 		cacheDir   = flag.String("cache-dir", "", "persistent result store directory (empty = disabled)")
 		remote     = flag.String("remote", "", "tifsserve base URL (e.g. http://host:8419); replaces -cache-dir for runs, -shard, and -merge")
 		submit     = flag.String("submit", "", "submit the run as a job to a tifsserve URL and stream its progress; the server executes it")
@@ -169,7 +175,7 @@ func run() int {
 	}
 	ctx, stop := signalContext()
 	defer stop()
-	o := tifs.ExperimentOptions{Context: ctx, Scale: scale, Events: *events, Cores: *cores, Parallelism: *parallel}
+	o := tifs.ExperimentOptions{Context: ctx, Scale: scale, Events: *events, Cores: *cores, Parallelism: *parallel, IntraParallelism: *intra}
 	if *workloads != "" {
 		for _, w := range strings.Split(*workloads, ",") {
 			name := strings.TrimSpace(w)
@@ -238,6 +244,25 @@ func run() int {
 		o.Store = st
 	}
 
+	// An explicit engine (instead of the one the experiments package
+	// would build internally) so the run can account for its work:
+	// zero simulations and zero grammar builds on a warm store is the
+	// observable proof the persistence tiers answered everything.
+	var eng *tifs.SimEngine
+	if o.Backend != nil {
+		eng = tifs.NewSimEngineBackend(*parallel, o.Backend)
+	} else {
+		eng = tifs.NewSimEngine(*parallel, o.Store)
+	}
+	if *intra > 1 {
+		eng.SetIntraParallelism(*intra)
+	}
+	o.Engine = eng
+	defer func() {
+		fmt.Fprintf(os.Stderr, "engine: %d simulations run, %d store hits, %d grammar builds\n",
+			eng.SimulationsRun(), eng.StoreHits(), eng.GrammarBuilds())
+	}()
+
 	if *experiment == "all" {
 		fmt.Print(tifs.RunAllExperiments(o))
 		return interrupted(ctx)
@@ -271,11 +296,12 @@ func runSubmit(ctx context.Context, url string, httpClient *http.Client, ids []s
 	c := tifs.DialJobService(url, httpClient)
 	c.Name = submitClientName()
 	req := tifs.JobRequest{
-		Experiments: ids,
-		Workloads:   o.Workloads,
-		Scale:       fmt.Sprint(o.Scale),
-		Events:      o.Events,
-		Cores:       o.Cores,
+		Experiments:      ids,
+		Workloads:        o.Workloads,
+		Scale:            fmt.Sprint(o.Scale),
+		Events:           o.Events,
+		Cores:            o.Cores,
+		IntraParallelism: o.IntraParallelism,
 	}
 	st, err := tifs.SubmitJob(ctx, c, req)
 	if err != nil {

@@ -58,6 +58,7 @@ func run() int {
 		events    = flag.Uint64("events", 0, "per-core events (0 = scale default)")
 		cores     = flag.Int("cores", 4, "number of cores")
 		baseline  = flag.Bool("baseline", true, "also run the next-line baseline and report speedup")
+		intra     = flag.Int("intra", 0, "producer shards inside the simulation (0/1 = serial; report bytes identical at every setting)")
 		cacheDir  = flag.String("cache-dir", "", "persistent result store directory (empty = disabled)")
 		remote    = flag.String("remote", "", "tifsserve base URL (e.g. http://host:8419); remote result store instead of -cache-dir")
 		submit    = flag.String("submit", "", "submit the simulation as a job to a tifsserve URL; the server executes it and returns the report")
@@ -98,7 +99,7 @@ func run() int {
 	defer stop()
 
 	if *submit != "" {
-		return runSubmit(ctx, *submit, *name, *mechName, *scaleName, *baseline, *events, *cores)
+		return runSubmit(ctx, *submit, *name, *mechName, *scaleName, *baseline, *events, *cores, *intra)
 	}
 
 	// Run the mechanism and (when requested) its next-line baseline as one
@@ -128,11 +129,13 @@ func run() int {
 	}
 	jobs := []tifs.SimJob{{Spec: spec, Scale: scale, Config: tifs.SimConfig{
 		Cores: *cores, EventsPerCore: *events, Mechanism: mech,
+		IntraParallelism: *intra,
 	}}}
 	wantBaseline := *baseline && mech.Kind != "none"
 	if wantBaseline {
 		jobs = append(jobs, tifs.SimJob{Spec: spec, Scale: scale, Config: tifs.SimConfig{
 			Cores: *cores, EventsPerCore: *events, Mechanism: tifs.NextLineOnly(),
+			IntraParallelism: *intra,
 		}})
 	}
 	results := tifs.SimulateAllBackendContext(ctx, jobs, 0, st)
@@ -152,7 +155,7 @@ func run() int {
 
 // runSubmit posts the simulation to a sweep service's job API and
 // prints the server-rendered report.
-func runSubmit(ctx context.Context, url, workload, mechanism, scale string, baseline bool, events uint64, cores int) int {
+func runSubmit(ctx context.Context, url, workload, mechanism, scale string, baseline bool, events uint64, cores, intra int) int {
 	c := tifs.DialJobService(url, nil)
 	host, err := os.Hostname()
 	if err != nil {
@@ -162,6 +165,7 @@ func runSubmit(ctx context.Context, url, workload, mechanism, scale string, base
 	st, err := tifs.SubmitJob(ctx, c, tifs.JobRequest{
 		Workload: workload, Mechanism: mechanism, Baseline: baseline,
 		Scale: scale, Events: events, Cores: cores,
+		IntraParallelism: intra,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tifssim:", err)

@@ -55,7 +55,13 @@ type Job struct {
 // config is scalar, so the printed form is a complete identity — stable
 // across processes and machines, which is what lets the persistent store
 // and the shard partitioner address work content-wise.
+//
+// IntraParallelism is normalized out: it shards execution inside a run
+// without changing a single output byte (sim's golden and byte-identity
+// tests enforce that), so runs at different intra settings must
+// deduplicate against each other and share store entries.
 func (j Job) Key() string {
+	j.Config.IntraParallelism = 0
 	return fmt.Sprintf("%+v|%d|%+v", j.Spec, j.Scale, j.Config)
 }
 
@@ -95,9 +101,14 @@ type Engine struct {
 	parallelism int
 	sem         chan struct{} // counting semaphore over running work
 
-	mu     sync.Mutex
-	sims   map[string]*simEntry
-	traces map[string]*traceEntry
+	// intra is the default sim.Config.IntraParallelism injected into
+	// jobs that leave it unset (see SetIntraParallelism).
+	intra int
+
+	mu       sync.Mutex
+	sims     map[string]*simEntry
+	traces   map[string]*traceEntry
+	grammars map[string]*grammarEntry
 
 	// store is the optional persistent second memo tier: keys missing
 	// from the in-process memo are looked up there before simulating,
@@ -115,8 +126,9 @@ type Engine struct {
 	// Written once before work is submitted, read by worker goroutines.
 	obs Observer
 
-	runs      atomic.Uint64 // simulations actually executed (memo misses)
-	storeHits atomic.Uint64 // jobs satisfied from the persistent store
+	runs          atomic.Uint64 // simulations actually executed (memo misses)
+	storeHits     atomic.Uint64 // jobs satisfied from the persistent store
+	grammarBuilds atomic.Uint64 // grammar snapshot sets actually constructed
 }
 
 // Observer receives engine scheduling events, keyed by the canonical
@@ -163,11 +175,34 @@ func New(parallelism int) *Engine {
 		sem:         make(chan struct{}, parallelism),
 		sims:        map[string]*simEntry{},
 		traces:      map[string]*traceEntry{},
+		grammars:    map[string]*grammarEntry{},
 	}
 }
 
 // Parallelism returns the worker bound.
 func (e *Engine) Parallelism() int { return e.parallelism }
+
+// SetIntraParallelism makes every job that leaves Config.IntraParallelism
+// unset run with n producer shards, and narrows the worker pool to
+// parallelism/n concurrent jobs so run-level times intra-run concurrency
+// stays within the engine's budget instead of oversubscribing the host.
+// An explicit per-job setting still wins. Call before submitting work;
+// it must not change while jobs are in flight. n <= 1 restores serial
+// runs at full run-level parallelism.
+func (e *Engine) SetIntraParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.intra = n
+	workers := e.parallelism / n
+	if workers < 1 {
+		workers = 1
+	}
+	e.sem = make(chan struct{}, workers)
+}
+
+// IntraParallelism returns the default per-run shard count.
+func (e *Engine) IntraParallelism() int { return e.intra }
 
 // SimulationsRun returns how many simulations actually executed —
 // submissions minus memoization and store hits — for dedup telemetry and
@@ -281,9 +316,15 @@ func (e *Engine) start(ctx context.Context, job Job) *simEntry {
 		e.runs.Add(1)
 		e.notify(EventSimStart, key)
 		r := e.runner()
+		cfg := job.Config
+		if cfg.IntraParallelism == 0 {
+			// The engine-wide default applies only where the job didn't
+			// choose; either way the key above is intra-agnostic.
+			cfg.IntraParallelism = e.intra
+		}
 		// The pooled runner reuses its result buffers next run, so the
 		// memoized copy must own its memory.
-		en.res = copyResult(r.Run(job.Spec, job.Scale, job.Config))
+		en.res = copyResult(r.Run(job.Spec, job.Scale, cfg))
 		e.runners.Put(r)
 		if e.store != nil {
 			e.store.PutResult(key, en.res)

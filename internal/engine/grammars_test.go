@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"tifs/internal/sequitur"
+	"tifs/internal/sim"
+	"tifs/internal/store"
+	"tifs/internal/trace"
+	"tifs/internal/workload"
+)
+
+// TestJobKeyIgnoresIntraParallelism: intra-run sharding never changes
+// output bytes, so jobs differing only in that knob must share one
+// identity — one memo entry, one store address, one sweep grid point.
+func TestJobKeyIgnoresIntraParallelism(t *testing.T) {
+	oltp := spec(t, "OLTP-DB2")
+	a := job(oltp, sim.Baseline())
+	b := a
+	b.Config.IntraParallelism = 8
+	if a.Key() != b.Key() {
+		t.Errorf("keys diverge on IntraParallelism:\n%s\n%s", a.Key(), b.Key())
+	}
+
+	e := New(4)
+	res := e.RunAll(context.Background(), []Job{a, b})
+	if got := e.SimulationsRun(); got != 1 {
+		t.Errorf("intra-only variants ran %d simulations, want 1", got)
+	}
+	if !reflect.DeepEqual(res[0], res[1]) {
+		t.Error("deduplicated intra variants returned different results")
+	}
+}
+
+// TestEngineIntraDefaultMatchesSerial: an engine-wide intra default
+// produces results identical to a serial engine, and narrows the
+// worker pool per the concurrency trade.
+func TestEngineIntraDefaultMatchesSerial(t *testing.T) {
+	oltp := spec(t, "OLTP-DB2")
+	web := spec(t, "Web-Zeus")
+	jobs := []Job{job(oltp, sim.Baseline()), job(web, sim.FDIP())}
+
+	serial := New(1).RunAll(context.Background(), jobs)
+	e := New(8)
+	e.SetIntraParallelism(4)
+	if cap(e.sem) != 2 {
+		t.Errorf("worker pool = %d with parallelism 8 / intra 4, want 2", cap(e.sem))
+	}
+	intra := e.RunAll(context.Background(), jobs)
+	if !reflect.DeepEqual(serial, intra) {
+		t.Error("intra-defaulted engine diverged from serial engine")
+	}
+}
+
+// grammarFromTraces derives what Grammars should return for one core,
+// straight from the memoized traces.
+func grammarFromTraces(recs []trace.MissRecord, dropSequential bool) *sequitur.Snapshot {
+	if dropSequential {
+		recs = trace.DropSequential(recs)
+	}
+	g := sequitur.New()
+	for _, r := range recs {
+		g.Append(uint64(r.Block))
+	}
+	return g.Snapshot()
+}
+
+// TestGrammarsMemoized: repeated requests return the identical snapshot
+// set (no rebuild), the content matches a direct SEQUITUR pass over the
+// same traces, and the two analysis variants are distinct entries.
+func TestGrammarsMemoized(t *testing.T) {
+	e := New(4)
+	oltp := spec(t, "OLTP-DB2")
+	tj := TraceJob{Spec: oltp, Scale: workload.ScaleSmall, Cores: 4, Events: 10_000}
+
+	full := e.Grammars(context.Background(), tj, false)
+	if len(full) != 4 {
+		t.Fatalf("got %d grammars", len(full))
+	}
+	again := e.Grammars(context.Background(), tj, false)
+	if &full[0] != &again[0] {
+		t.Error("memoized grammars were rebuilt")
+	}
+	if got := e.GrammarBuilds(); got != 1 {
+		t.Errorf("GrammarBuilds = %d, want 1", got)
+	}
+
+	noseq := e.Grammars(context.Background(), tj, true)
+	if got := e.GrammarBuilds(); got != 2 {
+		t.Errorf("GrammarBuilds after variant = %d, want 2", got)
+	}
+
+	recs := e.MissTraces(context.Background(), oltp, workload.ScaleSmall, 4, 10_000)
+	for i := range recs {
+		if want := grammarFromTraces(recs[i], false); !reflect.DeepEqual(full[i], want) {
+			t.Errorf("core %d full grammar diverges from direct SEQUITUR pass", i)
+		}
+		if want := grammarFromTraces(recs[i], true); !reflect.DeepEqual(noseq[i], want) {
+			t.Errorf("core %d no-seq grammar diverges from direct SEQUITUR pass", i)
+		}
+	}
+}
+
+// TestGrammarStoreTier: a warm process serves grammars from the store
+// with zero SEQUITUR builds and zero simulations; a corrupted grammar
+// blob degrades to one rebuild — from the still-cached traces — with
+// identical content.
+func TestGrammarStoreTier(t *testing.T) {
+	dir := t.TempDir()
+	oltp := spec(t, "OLTP-DB2")
+	tj := TraceJob{Spec: oltp, Scale: workload.ScaleSmall, Cores: 4, Events: 8_000}
+	key := grammarKey(tj, false)
+
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := New(2)
+	e1.SetStore(st1)
+	cold := e1.Grammars(context.Background(), tj, false)
+	if got := e1.GrammarBuilds(); got != 1 {
+		t.Fatalf("cold GrammarBuilds = %d, want 1", got)
+	}
+	if !st1.HasGrammars(key) {
+		t.Fatal("grammars not persisted")
+	}
+	st1.Close()
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := New(2)
+	e2.SetStore(st2)
+	warm := e2.Grammars(context.Background(), tj, false)
+	if got := e2.GrammarBuilds(); got != 0 {
+		t.Errorf("warm GrammarBuilds = %d, want 0", got)
+	}
+	if got := e2.StoreHits(); got != 1 {
+		t.Errorf("warm StoreHits = %d, want 1", got)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Error("store round trip changed grammar snapshots")
+	}
+	st2.Close()
+
+	// A store holding only a corrupt blob under the grammar address
+	// (duplicate puts keep the first payload, so the corruption must be
+	// seeded first): the engine must treat it as a miss and rebuild,
+	// arriving at the same snapshots.
+	st3, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	st3.PutBlob(store.Address(store.KindGrammars, key), []byte("not a grammar"))
+	e3 := New(2)
+	e3.SetStore(st3)
+	degraded := e3.Grammars(context.Background(), tj, false)
+	if got := e3.GrammarBuilds(); got != 1 {
+		t.Errorf("degraded GrammarBuilds = %d, want 1 (recompute)", got)
+	}
+	if !reflect.DeepEqual(cold, degraded) {
+		t.Error("corrupt grammar blob changed analysis inputs")
+	}
+}

@@ -44,6 +44,14 @@ type Options struct {
 	// results are assembled in submission order and every simulation is
 	// deterministic in its configuration.
 	Parallelism int
+	// IntraParallelism shards event generation inside each simulation
+	// across that many goroutines (sim.Config.IntraParallelism). Like
+	// Parallelism it is purely an execution knob — output bytes are
+	// identical at every setting — so it is excluded from job identity
+	// everywhere (engine keys, store addresses, sweep dedup). When both
+	// knobs are set the engine divides its worker budget so run-level
+	// times intra-run concurrency does not oversubscribe the host.
+	IntraParallelism int
 	// Engine overrides the simulation scheduler (nil selects the
 	// process-wide engine when Parallelism is 0 and Store is nil, or a
 	// fresh engine otherwise). Supplying one engine across several
@@ -83,8 +91,11 @@ func (o Options) engine() *engine.Engine {
 	if o.Engine != nil {
 		return o.Engine
 	}
-	if o.Parallelism != 0 || o.Store != nil || o.Backend != nil {
+	if o.Parallelism != 0 || o.IntraParallelism > 1 || o.Store != nil || o.Backend != nil {
 		e := engine.New(o.Parallelism)
+		if o.IntraParallelism > 1 {
+			e.SetIntraParallelism(o.IntraParallelism)
+		}
 		if o.Backend != nil {
 			e.SetBackend(o.Backend)
 		} else {
@@ -101,9 +112,10 @@ func (o Options) job(spec workload.Spec, m sim.Mechanism) engine.Job {
 		Spec:  spec,
 		Scale: o.Scale,
 		Config: sim.Config{
-			Cores:         o.Cores,
-			EventsPerCore: o.Events,
-			Mechanism:     m,
+			Cores:            o.Cores,
+			EventsPerCore:    o.Events,
+			Mechanism:        m,
+			IntraParallelism: o.IntraParallelism,
 		},
 	}
 }
@@ -265,19 +277,23 @@ type Fig3Row struct {
 // same categorization's stream lengths feed Fig5.
 func Fig3(o Options) ([]Fig3Row, string) {
 	o = o.withDefaults()
+	e := o.engine()
 	var rows []Fig3Row
 	t := stats.NewTable("Fig. 3. Miss categorization by SEQUITUR analysis (% of L1-I misses)",
 		"Workload", "Opportunity", "Head", "New", "Non-repetitive", "Repetitive")
 	for _, spec := range o.suite() {
-		perCore := missTraces(spec, o)
+		// The per-core grammars come from the engine's memoized (and
+		// store-persisted) grammar tier; a warm process categorizes
+		// without re-running SEQUITUR.
+		snaps := e.Grammars(o.ctx(), o.traceJob(spec), false)
 		// Categorize per core and merge counts (the paper logs per-core
 		// miss sequences).
 		merged := stats.NewCategories(analysis.CatOpportunity, analysis.CatHead,
 			analysis.CatNew, analysis.CatNonRepetitive)
 		lengths := stats.NewHistogram()
 		var rules int
-		for _, recs := range perCore {
-			c := analysis.Categorize(trace.Blocks(recs))
+		for _, snap := range snaps {
+			c := analysis.CategorizeSnapshot(snap)
 			for _, name := range merged.Names() {
 				merged.Add(name, c.Counts.Count(name))
 			}
@@ -308,15 +324,17 @@ type Fig5Row struct {
 // removed (modeling a perfect next-line prefetcher, Section 4.3).
 func Fig5(o Options) ([]Fig5Row, string) {
 	o = o.withDefaults()
+	e := o.engine()
 	var rows []Fig5Row
 	marks := []float64{0.25, 0.5, 0.75, 0.9}
 	t := stats.NewTable("Fig. 5. Recurring stream lengths, sequential misses removed (length at %opportunity)",
 		"Workload", "p25", "median", "p75", "p90", "max")
 	for _, spec := range o.suite() {
-		perCore := missTraces(spec, o)
+		// The dropSequential grammar variant is its own persisted entry.
+		snaps := e.Grammars(o.ctx(), o.traceJob(spec), true)
 		lengths := stats.NewHistogram()
-		for _, recs := range perCore {
-			c := analysis.Categorize(trace.Blocks(trace.DropSequential(recs)))
+		for _, snap := range snaps {
+			c := analysis.CategorizeSnapshot(snap)
 			for _, v := range c.StreamLengths.Values() {
 				lengths.AddN(v, c.StreamLengths.Count(v))
 			}
@@ -354,23 +372,30 @@ type Fig6Row struct {
 // Fig6 compares the stream lookup heuristics (Section 4.4).
 func Fig6(o Options) ([]Fig6Row, string) {
 	o = o.withDefaults()
+	e := o.engine()
 	var rows []Fig6Row
 	t := stats.NewTable("Fig. 6. Stream lookup heuristics (% of misses eliminated)",
 		"Workload", "First", "Digram", "Recent", "Longest", "Opportunity")
 	for _, spec := range o.suite() {
-		perCore := missTraces(spec, o)
+		// Heuristic replay needs the raw miss sequences; the opportunity
+		// column reuses the same full-trace grammars Fig3 categorizes
+		// (shared through the engine's grammar memo).
+		perCore := e.ExtractTraces(o.ctx(), o.traceJob(spec))
+		snaps := e.Grammars(o.ctx(), o.traceJob(spec), false)
 		covs := map[string]float64{}
 		var opp float64
 		var totalMisses uint64
 		covered := map[string]uint64{}
 		var oppCount uint64
-		for _, recs := range perCore {
+		for i, recs := range perCore {
 			seq := trace.Blocks(recs)
 			for _, r := range analysis.EvaluateHeuristics(seq) {
 				covered[r.Policy] += r.Covered
 			}
-			c := analysis.Categorize(seq)
-			oppCount += c.Counts.Count(analysis.CatOpportunity)
+			if i < len(snaps) {
+				c := analysis.CategorizeSnapshot(snaps[i])
+				oppCount += c.Counts.Count(analysis.CatOpportunity)
+			}
 			totalMisses += uint64(len(seq))
 		}
 		if totalMisses > 0 {

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"tifs/internal/retry"
+	"tifs/internal/sequitur"
 	"tifs/internal/sim"
 	"tifs/internal/store"
 	"tifs/internal/trace"
@@ -671,6 +672,28 @@ func (c *Client) PutMissTraces(key string, recs [][]trace.MissRecord) {
 	c.putBlob(store.KindMissTraces, key, payload)
 }
 
+// GetGrammars implements store.Backend.
+func (c *Client) GetGrammars(key string) ([]*sequitur.Snapshot, bool) {
+	payload, ok := c.getBlob(store.Address(store.KindGrammars, key))
+	if !ok {
+		return nil, false
+	}
+	snaps, err := store.DecodeGrammars(payload)
+	if err != nil {
+		return nil, false
+	}
+	return snaps, true
+}
+
+// PutGrammars implements store.Backend.
+func (c *Client) PutGrammars(key string, snaps []*sequitur.Snapshot) {
+	payload, err := store.EncodeGrammars(snaps)
+	if err != nil {
+		return // unencodable payloads degrade to "never stored"
+	}
+	c.putBlob(store.KindGrammars, key, payload)
+}
+
 // HasResult implements store.Backend.
 func (c *Client) HasResult(key string) bool {
 	return c.hasBlob(store.Address(store.KindResult, key))
@@ -679,6 +702,11 @@ func (c *Client) HasResult(key string) bool {
 // HasMissTraces implements store.Backend.
 func (c *Client) HasMissTraces(key string) bool {
 	return c.hasBlob(store.Address(store.KindMissTraces, key))
+}
+
+// HasGrammars implements store.Backend.
+func (c *Client) HasGrammars(key string) bool {
+	return c.hasBlob(store.Address(store.KindGrammars, key))
 }
 
 // Close delivers any queued write-backs (best effort, bounded by the

@@ -211,6 +211,10 @@ func verifyBlob(r *http.Request, addr store.Addr, payload []byte) error {
 		if _, err := store.DecodeMissTraces(payload); err != nil {
 			return fmt.Errorf("payload is not a valid miss-trace encoding: %v", err)
 		}
+	case store.KindGrammars:
+		if _, err := store.DecodeGrammars(payload); err != nil {
+			return fmt.Errorf("payload is not a valid grammar encoding: %v", err)
+		}
 	default:
 		return fmt.Errorf("unknown record kind %d", kind)
 	}

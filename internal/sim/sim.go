@@ -109,6 +109,12 @@ type Config struct {
 	Uncore uncore.Config
 	// Mechanism is the attached prefetcher.
 	Mechanism Mechanism
+	// IntraParallelism shards event generation for this one run across
+	// that many producer goroutines (clamped to Cores; 0 or 1 runs
+	// serially). It is purely an execution knob: output bytes are
+	// identical at every setting (see intra.go for the determinism
+	// model), so it never participates in result identity.
+	IntraParallelism int
 }
 
 // Result is the outcome of one simulation run.
@@ -259,6 +265,8 @@ type Runner struct {
 	heap      coreHeap
 	perCore   []cpu.Stats
 	tstats    core.TIFSStats
+
+	intra intraState
 }
 
 // NewRunner creates an empty Runner; its pools fill on first use.
@@ -298,6 +306,15 @@ func (r *Runner) Run(spec workload.Spec, scale workload.Scale, cfg Config) Resul
 	}
 
 	ge := r.workload(spec, scale, cfg.Cores)
+	// With intra-run parallelism the cores read from pooled SPSC epoch
+	// rings fed by shard workers instead of the executors directly; the
+	// events delivered are identical values in identical per-core order,
+	// so everything downstream is unchanged.
+	shards := intraShards(cfg.IntraParallelism, cfg.Cores)
+	sources := ge.sources
+	if shards > 1 {
+		sources = r.pipeSources(cfg.Cores)
+	}
 	if r.un == nil {
 		r.un = uncore.New(cfg.Uncore)
 	} else {
@@ -323,10 +340,10 @@ func (r *Runner) Run(spec workload.Spec, scale workload.Scale, cfg Config) Resul
 		ccfg.EventBudget = cfg.WarmupEvents + cfg.EventsPerCore
 		c := r.cores[i]
 		if c == nil {
-			c = cpu.New(i, ccfg, ge.sources[i], nil, un)
+			c = cpu.New(i, ccfg, sources[i], nil, un)
 			r.cores[i] = c
 		} else {
-			c.Reset(ccfg, ge.sources[i])
+			c.Reset(ccfg, sources[i])
 		}
 		var pf prefetch.Prefetcher
 		switch cfg.Mechanism.Kind {
@@ -403,6 +420,12 @@ func (r *Runner) Run(spec workload.Spec, scale workload.Scale, cfg Config) Resul
 	warmed := resetSlice(&r.warmed, cfg.Cores)
 	var warmTraffic uncore.Traffic
 	warmedCount := 0
+	// All setup that can panic is behind us: start the shard workers
+	// producing into the rings. They retire right after the merge loop —
+	// the cores consume the rings dry, so no worker can still be parked.
+	if shards > 1 {
+		r.startIntra(ge.sources, cfg.WarmupEvents+cfg.EventsPerCore, shards)
+	}
 	h := &r.heap
 	h.init(cores)
 	for h.len() > 0 {
@@ -421,6 +444,9 @@ func (r *Runner) Run(spec workload.Spec, scale workload.Scale, cfg Config) Resul
 				warmTraffic = un.Traffic()
 			}
 		}
+	}
+	if shards > 1 {
+		r.finishIntra()
 	}
 
 	res := Result{

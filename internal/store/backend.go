@@ -3,6 +3,7 @@ package store
 import (
 	"crypto/sha256"
 
+	"tifs/internal/sequitur"
 	"tifs/internal/sim"
 	"tifs/internal/trace"
 )
@@ -31,10 +32,17 @@ type Backend interface {
 	GetMissTraces(key string) ([][]trace.MissRecord, bool)
 	// PutMissTraces caches per-core miss traces under an extraction key.
 	PutMissTraces(key string, recs [][]trace.MissRecord)
+	// GetGrammars returns the cached per-core SEQUITUR grammar snapshots
+	// for an analysis key, if present and decodable.
+	GetGrammars(key string) ([]*sequitur.Snapshot, bool)
+	// PutGrammars caches per-core grammar snapshots under an analysis key.
+	PutGrammars(key string, snaps []*sequitur.Snapshot)
 	// HasResult reports presence without counting a hit or miss.
 	HasResult(key string) bool
 	// HasMissTraces is HasResult for trace extractions.
 	HasMissTraces(key string) bool
+	// HasGrammars is HasResult for grammar snapshot sets.
+	HasGrammars(key string) bool
 	// Close releases the backend's resources (locks, queued
 	// write-backs); the backend is unusable afterwards.
 	Close() error
@@ -53,6 +61,7 @@ type Addr = [sha256.Size]byte
 const (
 	KindResult     = kindResult
 	KindMissTraces = kindMissTraces
+	// KindGrammars is declared alongside the codec in grammar.go.
 )
 
 // Address derives the content address of (kind, key) — the identity

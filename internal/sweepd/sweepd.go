@@ -103,6 +103,13 @@ type JobRequest struct {
 	Scale  string `json:"scale,omitempty"`  // small|medium|full (default small)
 	Events uint64 `json:"events,omitempty"` // per-core budget (0 = scale default)
 	Cores  int    `json:"cores,omitempty"`  // CMP width (default 4)
+
+	// IntraParallelism shards event generation inside each simulation
+	// across that many producer goroutines (0/1 = serial). Like the
+	// engine's run-level parallelism it never changes output bytes, so
+	// it is deliberately excluded from the canonical key: submissions
+	// differing only here collapse onto one job.
+	IntraParallelism int `json:"intra_parallelism,omitempty"`
 }
 
 // Event is one progress notification on a job's stream.
@@ -387,6 +394,9 @@ func canonicalize(req JobRequest) (JobRequest, workload.Scale, string, error) {
 	if req.Cores <= 0 {
 		req.Cores = 4
 	}
+	if req.IntraParallelism < 0 {
+		req.IntraParallelism = 0
+	}
 
 	if req.Workload != "" || req.Mechanism != "" {
 		// Simulation form.
@@ -596,6 +606,7 @@ func (s *Service) runSweep(j *job) (string, error) {
 	o := experiments.Options{
 		Context: s.ctx, Scale: j.scale, Events: j.req.Events, Cores: j.req.Cores,
 		Workloads: j.req.Workloads, Engine: s.eng,
+		IntraParallelism: j.req.IntraParallelism,
 	}
 	return experiments.RunSelected(j.req.Experiments, o, func(id string, done bool) {
 		if done {
@@ -617,11 +628,13 @@ func (s *Service) runSimulation(j *job) (string, error) {
 	}
 	jobs := []engine.Job{{Spec: spec, Scale: j.scale, Config: sim.Config{
 		Cores: j.req.Cores, EventsPerCore: j.req.Events, Mechanism: mech,
+		IntraParallelism: j.req.IntraParallelism,
 	}}}
 	withBaseline := j.req.Baseline && mech.Kind != sim.KindNone
 	if withBaseline {
 		jobs = append(jobs, engine.Job{Spec: spec, Scale: j.scale, Config: sim.Config{
 			Cores: j.req.Cores, EventsPerCore: j.req.Events, Mechanism: sim.Baseline(),
+			IntraParallelism: j.req.IntraParallelism,
 		}})
 	}
 	results := s.eng.RunAll(s.ctx, jobs)

@@ -413,6 +413,35 @@ func TestCanonicalization(t *testing.T) {
 		t.Errorf("defaults not applied: %+v", norm)
 	}
 
+	// IntraParallelism is an execution knob, not an output knob: it must
+	// never reach either key form, and a negative value normalizes away.
+	for _, base := range []JobRequest{
+		{Workload: "Web-Zeus"},
+		{Experiments: []string{"fig1"}},
+	} {
+		_, _, serialKey, err := canonicalize(base)
+		if err != nil {
+			t.Fatalf("canonicalize %+v: %v", base, err)
+		}
+		intra := base
+		intra.IntraParallelism = 8
+		_, _, intraKey, err := canonicalize(intra)
+		if err != nil {
+			t.Fatalf("canonicalize %+v: %v", intra, err)
+		}
+		if serialKey != intraKey {
+			t.Errorf("intra_parallelism leaked into the canonical key: %q != %q", serialKey, intraKey)
+		}
+	}
+	neg := JobRequest{Workload: "Web-Zeus", IntraParallelism: -3}
+	n2, _, _, err := canonicalize(neg)
+	if err != nil {
+		t.Fatalf("negative intra request: %v", err)
+	}
+	if n2.IntraParallelism != 0 {
+		t.Errorf("negative IntraParallelism normalized to %d, want 0", n2.IntraParallelism)
+	}
+
 	for _, bad := range []JobRequest{
 		{Experiments: []string{"nope"}},
 		{Workloads: []string{"nope"}},
@@ -425,6 +454,38 @@ func TestCanonicalization(t *testing.T) {
 		if _, _, _, err := canonicalize(bad); err == nil {
 			t.Errorf("request %+v canonicalized without error", bad)
 		}
+	}
+}
+
+// TestIntraSubmissionsDedupe: submissions differing only in
+// intra_parallelism join one job and see one byte-identical output —
+// the service-level proof that the knob stays out of job identity.
+func TestIntraSubmissionsDedupe(t *testing.T) {
+	req := cheapSweep()
+	want, _ := localOutput(t, req)
+
+	_, ts := startService(t, "", Config{Parallelism: 2})
+	serial := submitAndWait(t, ts, "alice", req)
+	if serial.Output != want {
+		t.Fatalf("serial output differs from local run:\n--- want\n%s\n--- got\n%s", want, serial.Output)
+	}
+
+	intra := req
+	intra.IntraParallelism = 4
+	c := NewClient(ts.URL, nil)
+	c.Name = "bob"
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	st, err := c.Submit(ctx, intra)
+	if err != nil {
+		t.Fatalf("intra submit: %v", err)
+	}
+	if !st.Deduped || st.ID != serial.ID {
+		t.Errorf("intra variant created a new job (deduped=%v id=%s, want join of %s)",
+			st.Deduped, st.ID, serial.ID)
+	}
+	if st.Output != want {
+		t.Errorf("deduped intra submission returned different output")
 	}
 }
 
