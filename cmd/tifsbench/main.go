@@ -15,7 +15,12 @@
 // -intra N shards event generation inside each simulation across N
 // producer goroutines with a deterministic merge at the shared uncore:
 // output bytes are identical at every setting, so it composes with
-// every mode below (and is excluded from -submit's dedup key).
+// every mode below (and is excluded from -submit's dedup key). -spec
+// adds the third tier: a speculation goroutine executes windows of core
+// steps ahead of the merge, which verifies the predicted interleaving
+// and commits or rolls back — byte-identical output, with commit and
+// rollback counters on stderr. Both accept off|on|auto|N ("auto" sizes
+// to the machine); negative widths are rejected.
 //
 // Sharded sweeps split one experiment grid across processes or machines
 // that share a -cache-dir (for machines: on a shared filesystem):
@@ -105,7 +110,8 @@ func run() int {
 		events     = flag.Uint64("events", 0, "override per-core event budget (0 = scale default)")
 		cores      = flag.Int("cores", 4, "number of cores")
 		parallel   = flag.Int("parallelism", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
-		intra      = flag.Int("intra", 0, "producer shards inside each simulation (0/1 = serial; output bytes identical at every setting)")
+		intra      = flag.String("intra", "off", "producer shards inside each simulation: off|on|auto|N (off/0/1 = serial, auto = NumCPU; output bytes identical at every setting)")
+		spec       = flag.String("spec", "off", "speculative merge execution inside each simulation: off|on|auto|N (predict/verify/commit windows; output bytes identical at every setting)")
 		cacheDir   = flag.String("cache-dir", "", "persistent result store directory (empty = disabled)")
 		remote     = flag.String("remote", "", "tifsserve base URL (e.g. http://host:8419); replaces -cache-dir for runs, -shard, and -merge")
 		submit     = flag.String("submit", "", "submit the run as a job to a tifsserve URL and stream its progress; the server executes it")
@@ -173,9 +179,19 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
+	intraN, err := parseTierWidth("intra", *intra, runtime.NumCPU())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	specN, err := parseTierWidth("spec", *spec, 2)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 	ctx, stop := signalContext()
 	defer stop()
-	o := tifs.ExperimentOptions{Context: ctx, Scale: scale, Events: *events, Cores: *cores, Parallelism: *parallel, IntraParallelism: *intra}
+	o := tifs.ExperimentOptions{Context: ctx, Scale: scale, Events: *events, Cores: *cores, Parallelism: *parallel, IntraParallelism: intraN, Speculative: specN}
 	if *workloads != "" {
 		for _, w := range strings.Split(*workloads, ",") {
 			name := strings.TrimSpace(w)
@@ -254,13 +270,21 @@ func run() int {
 	} else {
 		eng = tifs.NewSimEngine(*parallel, o.Store)
 	}
-	if *intra > 1 {
-		eng.SetIntraParallelism(*intra)
+	if intraN > 1 {
+		eng.SetIntraParallelism(intraN)
+	}
+	if specN > 1 {
+		eng.SetSpeculative(specN)
 	}
 	o.Engine = eng
+	defer eng.Close()
 	defer func() {
 		fmt.Fprintf(os.Stderr, "engine: %d simulations run, %d store hits, %d grammar builds\n",
 			eng.SimulationsRun(), eng.StoreHits(), eng.GrammarBuilds())
+		if specN > 1 {
+			w, c, rb, l := eng.SpecCounters()
+			fmt.Fprintf(os.Stderr, "speculation: %d windows, %d committed, %d rollbacks, %d latched-off runs\n", w, c, rb, l)
+		}
 	}()
 
 	if *experiment == "all" {
@@ -274,6 +298,30 @@ func run() int {
 	}
 	fmt.Print(out)
 	return interrupted(ctx)
+}
+
+// parseTierWidth interprets the shared -intra/-spec flag syntax: "off"
+// (and widths 0/1) disables the tier, "on" enables it at onWidth,
+// "auto" sizes it to the machine (runtime.NumCPU()), and a bare integer
+// sets the width directly. Negative widths are rejected with a clear
+// error instead of silently running serial.
+func parseTierWidth(flagName, val string, onWidth int) (int, error) {
+	switch val {
+	case "", "off":
+		return 0, nil
+	case "on":
+		return onWidth, nil
+	case "auto":
+		return runtime.NumCPU(), nil
+	}
+	n, err := strconv.Atoi(val)
+	if err != nil {
+		return 0, fmt.Errorf("bad -%s %q: want off|on|auto or a non-negative integer", flagName, val)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("bad -%s %d: width must be non-negative", flagName, n)
+	}
+	return n, nil
 }
 
 // interrupted converts a cancelled run context into the exit status: any
@@ -302,6 +350,7 @@ func runSubmit(ctx context.Context, url string, httpClient *http.Client, ids []s
 		Events:           o.Events,
 		Cores:            o.Cores,
 		IntraParallelism: o.IntraParallelism,
+		Speculative:      o.Speculative,
 	}
 	st, err := tifs.SubmitJob(ctx, c, req)
 	if err != nil {
@@ -465,6 +514,7 @@ func runMerge(ctx context.Context, cacheDir, remote string, httpClient *http.Cli
 	missingJobs, missingTraces := tifs.MissingFromStore(st, grid)
 	e := tifs.NewSimEngineBackend(o.Parallelism, st)
 	o.Engine = e
+	defer e.Close()
 
 	if len(ids) == 0 {
 		fmt.Print(tifs.RunAllExperiments(o))

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"tifs/internal/flathash"
+	"tifs/internal/prefetch"
+)
+
+// engineSnap checkpoints one per-core Engine. Unbounded IMLs are
+// append-only, so their checkpoint is just the live length and Restore
+// truncates; bounded IMLs are rings whose slots get overwritten, so
+// their entries must be copied.
+type engineSnap struct {
+	logLen     int        // unbounded: live entry count at save time
+	logEntries []logEntry // bounded: full ring copy
+	appended   uint64
+	svb        []svbEntry
+	strs       []stream
+	stats      prefetch.Stats
+	tstats     TIFSStats
+}
+
+// Snapshot checkpoints a TIFS instance's full mutable state — the
+// shared Index Table, the failure-injection random stream, and every
+// per-core engine — for the simulator's speculative merge tier. Save
+// reuses the snapshot's buffers, so pooled snapshots stop allocating at
+// steady state.
+type Snapshot struct {
+	index flathash.Snapshot
+	rng   [4]uint64
+	cores []engineSnap
+}
+
+// Save copies the instance's current state into s.
+func (t *TIFS) Save(s *Snapshot) {
+	t.index.Save(&s.index)
+	s.rng = t.rng.State()
+	if cap(s.cores) < len(t.cores) {
+		s.cores = make([]engineSnap, len(t.cores))
+	}
+	s.cores = s.cores[:len(t.cores)]
+	for i, e := range t.cores {
+		es := &s.cores[i]
+		es.appended = e.log.appended
+		if e.log.capacity == 0 {
+			es.logLen = len(e.log.entries)
+			es.logEntries = es.logEntries[:0]
+		} else {
+			es.logEntries = append(es.logEntries[:0], e.log.entries...)
+		}
+		es.svb = append(es.svb[:0], e.svb...)
+		es.strs = append(es.strs[:0], e.strs...)
+		es.stats = e.stats
+		es.tstats = e.tstats
+	}
+}
+
+// Restore rewinds the instance to the state captured by Save. The
+// snapshot must come from this instance (same core count and IML
+// configuration), and for unbounded IMLs the log must only have grown
+// since the save — which is the only way it can change.
+func (t *TIFS) Restore(s *Snapshot) {
+	t.index.Restore(&s.index)
+	t.rng.SetState(s.rng)
+	for i, e := range t.cores {
+		es := &s.cores[i]
+		e.log.appended = es.appended
+		if e.log.capacity == 0 {
+			e.log.entries = e.log.entries[:es.logLen]
+		} else {
+			e.log.entries = append(e.log.entries[:0], es.logEntries...)
+		}
+		e.svb = append(e.svb[:0], es.svb...)
+		e.strs = append(e.strs[:0], es.strs...)
+		e.stats = es.stats
+		e.tstats = es.tstats
+	}
+}

@@ -56,12 +56,15 @@ type Job struct {
 // across processes and machines, which is what lets the persistent store
 // and the shard partitioner address work content-wise.
 //
-// IntraParallelism is normalized out: it shards execution inside a run
-// without changing a single output byte (sim's golden and byte-identity
-// tests enforce that), so runs at different intra settings must
-// deduplicate against each other and share store entries.
+// IntraParallelism, Speculative, and SpecChaos are normalized out: they
+// alter execution inside a run without changing a single output byte
+// (sim's golden and byte-identity tests enforce that), so runs at
+// different settings must deduplicate against each other and share
+// store entries.
 func (j Job) Key() string {
 	j.Config.IntraParallelism = 0
+	j.Config.Speculative = 0
+	j.Config.SpecChaos = 0
 	return fmt.Sprintf("%+v|%d|%+v", j.Spec, j.Scale, j.Config)
 }
 
@@ -102,10 +105,15 @@ type Engine struct {
 	sem         chan struct{} // counting semaphore over running work
 
 	// intra is the default sim.Config.IntraParallelism injected into
-	// jobs that leave it unset (see SetIntraParallelism).
-	intra int
+	// jobs that leave it unset (see SetIntraParallelism); spec and
+	// specChaos are the matching defaults for Config.Speculative and
+	// Config.SpecChaos (see SetSpeculative).
+	intra     int
+	spec      int
+	specChaos int
 
 	mu       sync.Mutex
+	closed   bool
 	sims     map[string]*simEntry
 	traces   map[string]*traceEntry
 	grammars map[string]*grammarEntry
@@ -118,9 +126,12 @@ type Engine struct {
 	// backend outage costs time, never correctness.
 	store store.Backend
 
-	// runners pools reusable simulation machines (one per concurrently
-	// running job); a pooled steady-state run allocates nothing.
-	runners sync.Pool
+	// runnerPool holds reusable simulation machines (one per
+	// concurrently running job); a pooled steady-state run allocates
+	// nothing. A plain free-list rather than sync.Pool so Close can
+	// deterministically release every pooled Runner's worker goroutines
+	// (guarded by mu together with closed).
+	runnerPool []*sim.Runner
 
 	// obs, when set, receives scheduling notifications (see Observer).
 	// Written once before work is submitted, read by worker goroutines.
@@ -129,6 +140,13 @@ type Engine struct {
 	runs          atomic.Uint64 // simulations actually executed (memo misses)
 	storeHits     atomic.Uint64 // jobs satisfied from the persistent store
 	grammarBuilds atomic.Uint64 // grammar snapshot sets actually constructed
+
+	// Cumulative speculative-tier counters across all runs (see
+	// SpecCounters).
+	specWindows   atomic.Uint64
+	specCommits   atomic.Uint64
+	specRollbacks atomic.Uint64
+	specLatches   atomic.Uint64
 }
 
 // Observer receives engine scheduling events, keyed by the canonical
@@ -137,6 +155,9 @@ type Engine struct {
 //	EventSimStart/EventSimDone      a memo-missing simulation ran
 //	EventTraceStart/EventTraceDone  a memo-missing trace extraction ran
 //	EventStoreHit                   the persistent tier supplied the value
+//	EventSpec                       a simulation ran speculatively; the key
+//	                                carries "|windows= committed= rollbacks=
+//	                                latched=" counters appended
 //
 // Deduplicated work emits no event: a submission that joins an
 // in-flight or completed entry is invisible here, which is exactly what
@@ -152,6 +173,7 @@ const (
 	EventTraceStart = "trace-start"
 	EventTraceDone  = "trace-done"
 	EventStoreHit   = "store-hit"
+	EventSpec       = "spec"
 )
 
 // SetObserver attaches a scheduling observer. Set it before submitting
@@ -183,26 +205,72 @@ func New(parallelism int) *Engine {
 func (e *Engine) Parallelism() int { return e.parallelism }
 
 // SetIntraParallelism makes every job that leaves Config.IntraParallelism
-// unset run with n producer shards, and narrows the worker pool to
-// parallelism/n concurrent jobs so run-level times intra-run concurrency
-// stays within the engine's budget instead of oversubscribing the host.
-// An explicit per-job setting still wins. Call before submitting work;
-// it must not change while jobs are in flight. n <= 1 restores serial
-// runs at full run-level parallelism.
+// unset run with n producer shards, and narrows the worker pool so
+// run-level times intra-run concurrency stays within the engine's
+// budget instead of oversubscribing the host. An explicit per-job
+// setting still wins. Call before submitting work; it must not change
+// while jobs are in flight. n <= 1 restores serial runs at full
+// run-level parallelism.
 func (e *Engine) SetIntraParallelism(n int) {
 	if n < 1 {
 		n = 1
 	}
 	e.intra = n
-	workers := e.parallelism / n
+	e.resizeSem()
+}
+
+// IntraParallelism returns the default per-run shard count.
+func (e *Engine) IntraParallelism() int { return e.intra }
+
+// SetSpeculative makes every job that leaves Config.Speculative unset
+// run with the speculative merge tier at level n (0/1 serial, >= 2
+// engages the speculation worker), narrowing the worker pool to budget
+// for the extra goroutine per run. Same rules as SetIntraParallelism:
+// explicit per-job settings win, call before submitting work.
+func (e *Engine) SetSpeculative(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.spec = n
+	e.resizeSem()
+}
+
+// Speculative returns the default speculation level.
+func (e *Engine) Speculative() int { return e.spec }
+
+// SetSpecChaos makes every job that leaves Config.SpecChaos unset force
+// a speculation mispredict every n-th window (0 disables). A test/bench
+// knob; output bytes are unaffected.
+func (e *Engine) SetSpecChaos(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.specChaos = n
+}
+
+// resizeSem re-derives the worker bound from the per-run goroutine
+// weight: intra producer shards plus the speculation worker.
+func (e *Engine) resizeSem() {
+	weight := e.intra
+	if weight < 1 {
+		weight = 1
+	}
+	if e.spec >= 2 {
+		weight++
+	}
+	workers := e.parallelism / weight
 	if workers < 1 {
 		workers = 1
 	}
 	e.sem = make(chan struct{}, workers)
 }
 
-// IntraParallelism returns the default per-run shard count.
-func (e *Engine) IntraParallelism() int { return e.intra }
+// SpecCounters returns the cumulative speculative-tier counters across
+// every simulation this engine ran: windows judged, windows committed,
+// windows rolled back, and runs whose fallback latch tripped.
+func (e *Engine) SpecCounters() (windows, committed, rollbacks, latches uint64) {
+	return e.specWindows.Load(), e.specCommits.Load(), e.specRollbacks.Load(), e.specLatches.Load()
+}
 
 // SimulationsRun returns how many simulations actually executed —
 // submissions minus memoization and store hits — for dedup telemetry and
@@ -234,10 +302,48 @@ func (e *Engine) SetBackend(b store.Backend) { e.store = b }
 
 // runner borrows a pooled simulation machine.
 func (e *Engine) runner() *sim.Runner {
-	if r, ok := e.runners.Get().(*sim.Runner); ok {
+	e.mu.Lock()
+	if n := len(e.runnerPool); n > 0 {
+		r := e.runnerPool[n-1]
+		e.runnerPool[n-1] = nil
+		e.runnerPool = e.runnerPool[:n-1]
+		e.mu.Unlock()
 		return r
 	}
+	e.mu.Unlock()
 	return sim.NewRunner()
+}
+
+// putRunner returns a machine to the pool, or releases it outright when
+// the engine has been closed.
+func (e *Engine) putRunner(r *sim.Runner) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		r.Close()
+		return
+	}
+	e.runnerPool = append(e.runnerPool, r)
+	e.mu.Unlock()
+}
+
+// Close releases every pooled simulation machine's worker goroutines
+// (intra producers, speculation workers). Call it when the engine's
+// owner is done submitting work; jobs still in flight return their
+// runners afterwards and those are released on return. A closed engine
+// remains usable — later jobs simply build fresh runners — so Close is
+// a resource release, not a shutdown. (The process-wide Default engine
+// is deliberately never closed; its runners live as long as the
+// process, with the Runner finalizer as the backstop.)
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.closed = true
+	pool := e.runnerPool
+	e.runnerPool = nil
+	e.mu.Unlock()
+	for _, r := range pool {
+		r.Close()
+	}
 }
 
 var (
@@ -318,14 +424,31 @@ func (e *Engine) start(ctx context.Context, job Job) *simEntry {
 		r := e.runner()
 		cfg := job.Config
 		if cfg.IntraParallelism == 0 {
-			// The engine-wide default applies only where the job didn't
-			// choose; either way the key above is intra-agnostic.
+			// The engine-wide defaults apply only where the job didn't
+			// choose; either way the key above is agnostic to all of
+			// these execution knobs.
 			cfg.IntraParallelism = e.intra
+		}
+		if cfg.Speculative == 0 {
+			cfg.Speculative = e.spec
+		}
+		if cfg.SpecChaos == 0 {
+			cfg.SpecChaos = e.specChaos
 		}
 		// The pooled runner reuses its result buffers next run, so the
 		// memoized copy must own its memory.
 		en.res = copyResult(r.Run(job.Spec, job.Scale, cfg))
-		e.runners.Put(r)
+		e.putRunner(r)
+		if sp := en.res.Spec; sp.Windows > 0 {
+			e.specWindows.Add(sp.Windows)
+			e.specCommits.Add(sp.Committed)
+			e.specRollbacks.Add(sp.Rollbacks)
+			if sp.Latched {
+				e.specLatches.Add(1)
+			}
+			e.notify(EventSpec, fmt.Sprintf("%s|windows=%d committed=%d rollbacks=%d latched=%v",
+				key, sp.Windows, sp.Committed, sp.Rollbacks, sp.Latched))
+		}
 		if e.store != nil {
 			e.store.PutResult(key, en.res)
 		}

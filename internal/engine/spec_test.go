@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"tifs/internal/sim"
+)
+
+// TestJobKeyIgnoresSpeculative: the speculative tier (and its chaos
+// knob) never changes output bytes, so jobs differing only in those
+// knobs must share one identity — one memo entry, one store address,
+// one sweep grid point.
+func TestJobKeyIgnoresSpeculative(t *testing.T) {
+	oltp := spec(t, "OLTP-DB2")
+	a := job(oltp, sim.Baseline())
+	b := a
+	b.Config.Speculative = 2
+	b.Config.SpecChaos = 7
+	b.Config.IntraParallelism = 4
+	if a.Key() != b.Key() {
+		t.Errorf("keys diverge on execution knobs:\n%s\n%s", a.Key(), b.Key())
+	}
+
+	e := New(4)
+	defer e.Close()
+	res := e.RunAll(context.Background(), []Job{a, b})
+	if got := e.SimulationsRun(); got != 1 {
+		t.Errorf("execution-knob variants ran %d simulations, want 1", got)
+	}
+	if !reflect.DeepEqual(res[0], res[1]) {
+		t.Error("deduplicated variants returned different results")
+	}
+}
+
+// TestEngineSpeculativeDefaultMatchesSerial: an engine-wide speculation
+// default produces results identical to a serial engine (modulo the
+// Spec telemetry), narrows the worker pool for the extra goroutine per
+// run, surfaces cumulative counters, and emits EventSpec observations.
+func TestEngineSpeculativeDefaultMatchesSerial(t *testing.T) {
+	oltp := spec(t, "OLTP-DB2")
+	web := spec(t, "Web-Zeus")
+	jobs := []Job{job(oltp, sim.Baseline()), job(web, sim.FDIP())}
+
+	serial := New(1)
+	defer serial.Close()
+	want := serial.RunAll(context.Background(), jobs)
+
+	e := New(8)
+	defer e.Close()
+	e.SetIntraParallelism(2)
+	e.SetSpeculative(2)
+	if cap(e.sem) != 2 {
+		t.Errorf("worker pool = %d with parallelism 8 / (intra 2 + spec), want 2", cap(e.sem))
+	}
+	var mu sync.Mutex
+	var specEvents []string
+	e.SetObserver(func(kind, key string) {
+		if kind == EventSpec {
+			mu.Lock()
+			specEvents = append(specEvents, key)
+			mu.Unlock()
+		}
+	})
+	got := e.RunAll(context.Background(), jobs)
+	for i := range got {
+		if got[i].Spec.Windows == 0 || got[i].Spec.Committed != got[i].Spec.Windows {
+			t.Errorf("job %d: expected fully committed speculative run, got %+v", i, got[i].Spec)
+		}
+		got[i].Spec = sim.SpecStats{}
+		if !reflect.DeepEqual(want[i], got[i]) {
+			t.Errorf("job %d: speculative engine diverged from serial engine", i)
+		}
+	}
+	w, c, rb, l := e.SpecCounters()
+	if w == 0 || c != w || rb != 0 || l != 0 {
+		t.Errorf("spec counters = windows %d committed %d rollbacks %d latches %d", w, c, rb, l)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(specEvents) != len(jobs) {
+		t.Fatalf("observed %d EventSpec emissions, want %d", len(specEvents), len(jobs))
+	}
+	for _, ev := range specEvents {
+		if !strings.Contains(ev, "windows=") || !strings.Contains(ev, "rollbacks=") {
+			t.Errorf("EventSpec payload missing counters: %q", ev)
+		}
+	}
+}
+
+// TestEngineClose: Close releases the pooled runners deterministically,
+// and a closed engine keeps working — later jobs build fresh runners
+// that are released on return rather than re-pooled.
+func TestEngineClose(t *testing.T) {
+	oltp := spec(t, "OLTP-DB2")
+	e := New(2)
+	e.SetSpeculative(2)
+	a := job(oltp, sim.Baseline())
+	before := e.Run(context.Background(), a)
+	e.Close()
+	e.Close() // idempotent
+	if n := len(e.runnerPool); n != 0 {
+		t.Fatalf("runner pool holds %d runners after Close", n)
+	}
+	b := a
+	b.Config.EventsPerCore = 9_000 // a fresh key, so it really simulates
+	after := e.Run(context.Background(), b)
+	if after.Cycles == 0 || before.Cycles == 0 {
+		t.Fatal("runs around Close produced empty results")
+	}
+	if n := len(e.runnerPool); n != 0 {
+		t.Errorf("closed engine re-pooled %d runners", n)
+	}
+}

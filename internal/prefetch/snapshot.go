@@ -1,0 +1,114 @@
+package prefetch
+
+import (
+	"tifs/internal/branch"
+	"tifs/internal/flathash"
+	"tifs/internal/isa"
+)
+
+// This file holds checkpoint support for every prefetcher, used by the
+// simulator's speculative merge tier (internal/sim/spec.go): the
+// speculation worker runs ahead on the live machine and the merge
+// thread rewinds to the last verified checkpoint on a mispredicted
+// window. Each snapshot type reuses its buffers across saves, so a
+// Runner-pooled snapshot stops allocating once it reaches the run's
+// steady-state sizes. Configuration fields (table geometry, budgets,
+// bindings) are stable within a run and are deliberately not captured.
+
+// FDIPSnapshot checkpoints an FDIP engine's mutable state.
+type FDIPSnapshot struct {
+	pred       branch.Snapshot
+	lastTarget flathash.Snapshot
+	buffer     []fdipEntry
+	explored   int
+	blocked    int
+	stats      Stats
+}
+
+// Save copies the engine's current state into s.
+func (f *FDIP) Save(s *FDIPSnapshot) {
+	f.pred.Save(&s.pred)
+	f.lastTarget.Save(&s.lastTarget)
+	s.buffer = append(s.buffer[:0], f.buffer...)
+	s.explored = f.explored
+	s.blocked = f.blocked
+	s.stats = f.stats
+}
+
+// Restore rewinds the engine to the state captured by Save.
+func (f *FDIP) Restore(s *FDIPSnapshot) {
+	f.pred.Restore(&s.pred)
+	f.lastTarget.Restore(&s.lastTarget)
+	f.buffer = append(f.buffer[:0], s.buffer...)
+	f.explored = s.explored
+	f.blocked = s.blocked
+	f.stats = s.stats
+}
+
+// DiscontinuitySnapshot checkpoints a Discontinuity engine's mutable
+// state.
+type DiscontinuitySnapshot struct {
+	table     []discEntry
+	buffer    []fdipEntry
+	prevBlock isa.Block
+	havePrev  bool
+	stats     Stats
+}
+
+// Save copies the engine's current state into s.
+func (d *Discontinuity) Save(s *DiscontinuitySnapshot) {
+	s.table = append(s.table[:0], d.table...)
+	s.buffer = append(s.buffer[:0], d.buffer...)
+	s.prevBlock = d.prevBlock
+	s.havePrev = d.havePrev
+	s.stats = d.stats
+}
+
+// Restore rewinds the engine to the state captured by Save.
+func (d *Discontinuity) Restore(s *DiscontinuitySnapshot) {
+	copy(d.table, s.table)
+	d.buffer = append(d.buffer[:0], s.buffer...)
+	d.prevBlock = s.prevBlock
+	d.havePrev = s.havePrev
+	d.stats = s.stats
+}
+
+// PerfectSnapshot checkpoints a Perfect streamer's mutable state.
+type PerfectSnapshot struct {
+	seen  flathash.Snapshot
+	stats Stats
+}
+
+// Save copies the streamer's current state into s.
+func (p *Perfect) Save(s *PerfectSnapshot) {
+	p.seen.Save(&s.seen)
+	s.stats = p.stats
+}
+
+// Restore rewinds the streamer to the state captured by Save.
+func (p *Perfect) Restore(s *PerfectSnapshot) {
+	p.seen.Restore(&s.seen)
+	p.stats = s.stats
+}
+
+// ProbabilisticSnapshot checkpoints a Probabilistic model's mutable
+// state, including its random stream position.
+type ProbabilisticSnapshot struct {
+	seen  flathash.Snapshot
+	rng   [4]uint64
+	stats Stats
+}
+
+// Save copies the model's current state into s.
+func (p *Probabilistic) Save(s *ProbabilisticSnapshot) {
+	p.seen.Save(&s.seen)
+	s.rng = p.rng.State()
+	s.stats = p.stats
+}
+
+// Restore rewinds the model to the state captured by Save.
+func (p *Probabilistic) Restore(s *ProbabilisticSnapshot) {
+	p.seen.Restore(&s.seen)
+	p.rng.SetState(s.rng)
+	p.stats = s.stats
+}

@@ -41,13 +41,14 @@
 // Everything here is pooled in the Runner so a warmed intra-parallel
 // run allocates nothing: the chunk buffers, both channels of every
 // ring, the producer descriptors, and the worker goroutines themselves
-// (spawned once, parked on a task channel between runs; a finalizer
-// closes the channel when the Runner is collected so idle workers do
-// not outlive it).
+// (spawned once, parked on a task channel between runs; Runner.Close —
+// or its finalizer backstop — closes the channel so idle workers do not
+// outlive the Runner).
 package sim
 
 import (
-	"runtime"
+	"context"
+	"runtime/pprof"
 
 	"tifs/internal/isa"
 )
@@ -258,13 +259,17 @@ func (t *intraTask) run() {
 }
 
 // intraWorker is a persistent shard worker: it parks on the task
-// channel between runs and exits when the channel closes (the Runner's
-// finalizer). It deliberately receives only the channel — never the
-// Runner — so parked workers cannot keep a dropped Runner alive.
+// channel between runs and exits when the channel closes
+// (Runner.Close, or its finalizer backstop). It deliberately receives
+// only the channel — never the Runner — so parked workers cannot keep a
+// dropped Runner alive. The goroutine carries a pprof label so profiles
+// attribute event generation to this tier.
 func intraWorker(work chan *intraTask) {
-	for t := range work {
-		t.run()
-	}
+	pprof.Do(context.Background(), pprof.Labels("tifs-tier", "intra-producer"), func(context.Context) {
+		for t := range work {
+			t.run()
+		}
+	})
 }
 
 // intraState is the Runner's pooled intra-parallel machinery.
@@ -292,10 +297,6 @@ func (r *Runner) pipeSources(cores int) []isa.EventSource {
 	}
 	return st.srcs
 }
-
-// stopIntraWorkers releases the worker pool; registered as the Runner's
-// finalizer when the first worker is spawned.
-func stopIntraWorkers(r *Runner) { close(r.intra.work) }
 
 // intraShards returns the producer-goroutine count for a run: the knob
 // bounded by the core count (more shards than cores would idle).
@@ -325,7 +326,7 @@ func (r *Runner) startIntra(sources []isa.EventSource, perCore uint64, shards in
 	st.tasks = st.tasks[:shards]
 	if st.work == nil {
 		st.work = make(chan *intraTask)
-		runtime.SetFinalizer(r, stopIntraWorkers)
+		r.armFinalizer()
 	}
 	for st.workers < shards {
 		go intraWorker(st.work)

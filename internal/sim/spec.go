@@ -1,0 +1,664 @@
+// Speculative core-window execution: parallelize the order-sensitive
+// merge loop itself with a predict/verify/commit protocol, keeping
+// output bytes identical at every setting.
+//
+// # Why the merge loop resists parallelism
+//
+// The intra tier (intra.go) offloads the one stage that touches no
+// simulated state — event generation. Everything else is serialized by
+// the shared uncore: every core step may occupy an L2 bank, fill the
+// shared cache, or touch the TIFS Index Table, so the byte-identity
+// guarantee pins the entire (cycle, core) interleaving produced by the
+// min-heap scheduler. No partitioning of that loop preserves the bytes.
+//
+// # The speculation model
+//
+// What CAN run ahead is the whole machine: a speculation worker executes
+// windows of specWindowSteps scheduler steps on the Runner's live
+// machine state, recording the (clock, core) decision it made at each
+// step. The merge thread — the owner of the authoritative schedule —
+// does not re-execute those steps; it replays the recorded decisions
+// against a detached clone of the scheduling heap, checking at every
+// step that the recorded core is exactly the one the min-heap would
+// pick. A window whose record matches is committed by adoption: the
+// machine state the worker already produced IS the serial machine state,
+// because the worker ran the same deterministic step function in the
+// verified order. A window that diverges is rolled back: the machine is
+// restored from the last verified checkpoint, event delivery is rewound
+// through recording tees, and the rolled-back span is re-executed
+// serially.
+//
+// Because the worker runs the same deterministic code on the same
+// machine, organic divergence cannot occur — the predictor here is an
+// exact replica, which is what makes commit-by-adoption byte-safe. The
+// rollback path is therefore exercised by deterministic fault injection
+// (Config.SpecChaos corrupts every n-th recorded window — the record,
+// never the machine), and guarded in production by a fallback latch:
+// if more than a quarter of windows roll back, speculation latches off
+// and the run finishes serially, bounding the worst case at roughly
+// serial cost plus the abandoned windows.
+//
+// # Checkpoint discipline
+//
+// The worker checkpoints the machine into the single checkpoint slot
+// every specCheckpointWindows windows, gated so it never checkpoints
+// past what the merge thread has verified: before saving at window
+// boundary w, it waits until verified >= w. The gate makes the restore
+// point deterministic — a divergence at window dv always restores the
+// checkpoint at the highest multiple of specCheckpointWindows at or
+// below dv, because the worker provably saved that checkpoint (it
+// passed that gate to produce window dv) and provably saved no later
+// one (the merge thread stopped verifying at dv).
+//
+// After a stop request the worker may finish producing one junk window
+// from post-divergence state; that is harmless — the merge thread
+// drains and discards it, the restore overwrites every machine
+// mutation, and events the worker over-pulled remain buffered in the
+// tees as valid future events.
+//
+// Everything — record buffers, tees, checkpoint, verifier heap — is
+// pooled in the Runner, so a warmed speculative run performs zero heap
+// allocations at steady state (rollbacks may allocate modestly while
+// snapshots grow to the run's high-water marks).
+package sim
+
+import (
+	"context"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"tifs/internal/core"
+	"tifs/internal/cpu"
+	"tifs/internal/isa"
+	"tifs/internal/prefetch"
+	"tifs/internal/uncore"
+)
+
+const (
+	// specWindowSteps is one speculation window: the unit of
+	// verification and commit. Large enough that verification (a few ns
+	// per record) amortizes channel handoffs to noise; small enough to
+	// bound the work discarded on a forced mispredict.
+	specWindowSteps = 4096
+	// specCheckpointWindows is the checkpoint cadence in windows. The
+	// dominant checkpoint cost is copying the shared L2 ways (~3 MB at
+	// Table II geometry), so checkpoints are deliberately sparse: one
+	// per 16 windows keeps the amortized cost well under the merge
+	// thread's verification work while bounding a rollback's serial
+	// re-execution to 16 windows.
+	specCheckpointWindows = 16
+	// specBuffers sizes the record-buffer pool: enough for the worker
+	// to run a full checkpoint interval ahead plus handoff slack, so
+	// the pool itself never stalls speculation before the gate does.
+	specBuffers = specCheckpointWindows + 2
+	// specLatchMinRollbacks and specLatchDenom define the fallback
+	// latch: once at least specLatchMinRollbacks windows have rolled
+	// back AND rollbacks exceed 1/specLatchDenom of all windows, the
+	// run latches speculation off and finishes serially.
+	specLatchMinRollbacks = 4
+	specLatchDenom        = 4
+)
+
+// SpecStats reports the speculative tier's commit/rollback counters for
+// one run. All fields are derived from merge-thread decisions on the
+// deterministic schedule, so they are themselves deterministic for a
+// given (workload, config) — timing-dependent measures live outside the
+// Result (see Runner.SpecMergeBusy).
+type SpecStats struct {
+	// Windows counts every window the merge thread judged:
+	// Committed + Rollbacks.
+	Windows uint64
+	// Committed counts windows whose recorded interleaving matched the
+	// authoritative schedule and were adopted without re-execution.
+	Committed uint64
+	// Rollbacks counts mispredicted windows (diverging record), each of
+	// which discarded the speculated state and re-executed serially.
+	Rollbacks uint64
+	// StepsCommitted and StepsReexecuted count scheduler steps adopted
+	// from speculation versus re-executed serially after rollbacks.
+	StepsCommitted  uint64
+	StepsReexecuted uint64
+	// Latched reports that the rollback rate tripped the fallback latch
+	// and the run finished with the serial merge loop.
+	Latched bool
+}
+
+// specRec is one recorded scheduler decision: which core the worker
+// stepped and the clock that step advanced it to. done marks a pop of
+// an exhausted core (clock is unused).
+type specRec struct {
+	clock uint64
+	core  int32
+	done  bool
+}
+
+// specWindow is one pooled record buffer, handed worker->merge on the
+// recs channel and recycled on free.
+type specWindow struct {
+	recs []specRec
+}
+
+// specTask is one speculation session's assignment, sent to the parked
+// worker goroutine. Like intraTask it reaches the worker only through
+// the channel, and the worker drops it when the session ends.
+type specTask struct {
+	r            *Runner
+	kind         string // resolved mechanism kind (checkpoint selector)
+	nCores       int
+	warmupEvents uint64
+	chaos        int
+	// base is the run-global index of this session's first window
+	// (stats.Windows at session start). It makes chaos injection
+	// deterministic: window corruption is keyed on the global index, so
+	// junk windows produced after a stop request — whose count is
+	// timing-dependent — can never shift the corruption cadence.
+	base uint64
+}
+
+// machineSnap checkpoints the full simulated machine: uncore, cores,
+// the active prefetch mechanism, the scheduling heap, and the warmup
+// bookkeeping. Buffers are reused across saves.
+type machineSnap struct {
+	un    uncore.Snapshot
+	cores []cpu.Snapshot
+	tifs  core.Snapshot
+	fdip  []prefetch.FDIPSnapshot
+	disc  []prefetch.DiscontinuitySnapshot
+	perf  []prefetch.PerfectSnapshot
+	prob  []prefetch.ProbabilisticSnapshot
+
+	heap        keyHeap
+	warmStats   []cpu.Stats
+	warmPf      []prefetch.Stats
+	warmed      []bool
+	warmedCount int
+	warmTraffic uncore.Traffic
+}
+
+// specState is the Runner's pooled speculative-tier machinery.
+type specState struct {
+	// mu/cond implement the checkpoint gate: the worker waits until the
+	// merge thread has verified up to its next checkpoint boundary (or
+	// a stop is requested) before overwriting the checkpoint slot.
+	mu       sync.Mutex
+	cond     *sync.Cond
+	verified int
+	stopped  bool
+
+	// work parks the persistent worker goroutine between sessions; it
+	// holds only this channel while parked (never the Runner), so the
+	// finalizer backstop can fire. recs/free circulate the record
+	// buffers; done signals session exit.
+	work chan *specTask
+	recs chan *specWindow
+	free chan *specWindow
+	done chan struct{}
+	bufs []*specWindow
+	task specTask
+
+	// tees wrap the per-core event sources so rollbacks can rewind
+	// event delivery; srcs is the []isa.EventSource view handed to the
+	// cores.
+	tees []*eventTee
+	srcs []isa.EventSource
+
+	cp    machineSnap // single checkpoint slot (see package comment)
+	vheap keyHeap     // merge-side verifier clone of the scheduling heap
+
+	stats     SpecStats
+	mergeBusy time.Duration
+}
+
+// SpecMergeBusy returns how long the merge thread spent working (as
+// opposed to waiting on the speculation worker) during the last
+// speculative run: verification, rollback restores, and serial
+// re-execution. It is the honest single-machine speedup metric — the
+// serial merge loop's whole runtime is "busy" — and is timing-dependent,
+// which is why it lives on the Runner rather than in Result.
+func (r *Runner) SpecMergeBusy() time.Duration { return r.spec.mergeBusy }
+
+// specSources wraps this run's per-core sources (workload executors or
+// intra pipes alike) in pooled recording tees.
+func (r *Runner) specSources(sources []isa.EventSource, nCores int) []isa.EventSource {
+	s := &r.spec
+	for len(s.tees) < nCores {
+		s.tees = append(s.tees, &eventTee{})
+	}
+	if cap(s.srcs) < nCores {
+		s.srcs = make([]isa.EventSource, nCores)
+	}
+	s.srcs = s.srcs[:nCores]
+	for i := 0; i < nCores; i++ {
+		t := s.tees[i]
+		t.reset(sources[i])
+		s.srcs[i] = t
+	}
+	return s.srcs
+}
+
+// ensureSpec lazily builds the pooled channels, buffers, and worker.
+func (r *Runner) ensureSpec() {
+	s := &r.spec
+	if s.cond == nil {
+		s.cond = sync.NewCond(&s.mu)
+		s.recs = make(chan *specWindow, specBuffers)
+		s.free = make(chan *specWindow, specBuffers)
+		s.done = make(chan struct{}, 1)
+		for i := 0; i < specBuffers; i++ {
+			s.bufs = append(s.bufs, &specWindow{recs: make([]specRec, 0, specWindowSteps)})
+		}
+	}
+	if s.work == nil {
+		s.work = make(chan *specTask)
+		r.armFinalizer()
+		go specWorker(s.work)
+	}
+}
+
+// specWorker is the persistent speculation worker: it parks on the task
+// channel between sessions and exits when the channel closes
+// (Runner.Close, or its finalizer backstop). The goroutine carries a
+// pprof label so profiles attribute run-ahead execution to this tier.
+func specWorker(work chan *specTask) {
+	pprof.Do(context.Background(), pprof.Labels("tifs-tier", "spec-worker"), func(context.Context) {
+		for t := range work {
+			t.run()
+		}
+	})
+}
+
+// runSpeculative drives the speculative merge to completion: sessions
+// of speculate/verify/commit, serial re-execution after each rollback,
+// and a final serial tail if the fallback latch trips.
+func (r *Runner) runSpeculative(kind string, nCores int, warmupEvents uint64, chaos int) {
+	r.ensureSpec()
+	s := &r.spec
+	s.stats = SpecStats{}
+	s.mergeBusy = 0
+	for r.heap.len() > 0 {
+		if r.specSession(kind, nCores, warmupEvents, chaos) {
+			return
+		}
+		// Rolled back. Latch speculation off when mispredicts dominate:
+		// past this point re-speculating costs more than it saves.
+		if s.stats.Rollbacks >= specLatchMinRollbacks &&
+			s.stats.Rollbacks*specLatchDenom > s.stats.Windows {
+			s.stats.Latched = true
+			t0 := time.Now()
+			r.mergeSerial(warmupEvents, nCores)
+			s.mergeBusy += time.Since(t0)
+			return
+		}
+	}
+}
+
+// specSession runs one speculation session: checkpoint, launch the
+// worker, verify windows as they arrive, and either commit through to
+// machine exhaustion (returns true) or roll back after a divergence
+// (returns false with the machine restored to the deterministic
+// re-execution point).
+func (r *Runner) specSession(kind string, nCores int, warmupEvents uint64, chaos int) bool {
+	s := &r.spec
+	t0 := time.Now()
+	// Session-start checkpoint doubles as the window-0 restore point;
+	// the verifier replays against a clone of the live heap.
+	r.saveMachine(&s.cp, kind, nCores)
+	r.heap.saveInto(&s.vheap)
+	s.mu.Lock()
+	s.verified = 0
+	s.stopped = false
+	s.mu.Unlock()
+	s.refillBuffers()
+	s.mergeBusy += time.Since(t0)
+
+	s.task = specTask{
+		r: r, kind: kind, nCores: nCores,
+		warmupEvents: warmupEvents, chaos: chaos,
+		base: s.stats.Windows,
+	}
+	s.work <- &s.task
+
+	win := 0
+	for {
+		w := <-s.recs
+		t1 := time.Now()
+		n := len(w.recs)
+		ok := s.verifyWindow(w)
+		s.free <- w
+		if !ok {
+			// Divergence at session-local window win: stop and drain
+			// the worker, restore the deterministic checkpoint, rewind
+			// event delivery, and re-execute the span serially.
+			s.haltWorker()
+			s.stats.Rollbacks++
+			s.stats.Windows++
+			cb := (win / specCheckpointWindows) * specCheckpointWindows
+			r.restoreMachine(&s.cp, kind, nCores)
+			target := uint64(win-cb)*specWindowSteps + uint64(n)
+			s.stats.StepsReexecuted += r.mergeSerialN(target, warmupEvents, nCores)
+			s.mergeBusy += time.Since(t1)
+			return false
+		}
+		s.stats.Committed++
+		s.stats.Windows++
+		s.stats.StepsCommitted += uint64(n)
+		s.mu.Lock()
+		s.verified++
+		s.cond.Signal()
+		s.mu.Unlock()
+		s.mergeBusy += time.Since(t1)
+		win++
+		if n < specWindowSteps {
+			// A short window means the worker ran the machine to
+			// exhaustion and exited; with every window verified, the
+			// live state IS the serial result.
+			<-s.done
+			return true
+		}
+	}
+}
+
+// verifyWindow replays one recorded window against the verifier heap,
+// checking each recorded decision is exactly the authoritative
+// min-heap's pick. On a match the verifier advances with the recorded
+// clock (the worker's step is the same deterministic function, so the
+// clock is the schedule); on a mismatch the window is a mispredict.
+func (s *specState) verifyWindow(w *specWindow) bool {
+	v := &s.vheap
+	for i := range w.recs {
+		rec := &w.recs[i]
+		if v.len() == 0 || int32(v.min()) != rec.core {
+			return false
+		}
+		if rec.done {
+			v.pop()
+		} else {
+			v.fixKey(rec.clock)
+		}
+	}
+	return true
+}
+
+// haltWorker requests a stop, then drains record buffers until the
+// worker signals exit. Draining is what unblocks a worker parked on the
+// free list; any windows drained here are post-divergence junk whose
+// machine effects the caller's restore erases.
+func (s *specState) haltWorker() {
+	s.mu.Lock()
+	s.stopped = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	for {
+		select {
+		case w := <-s.recs:
+			s.free <- w
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// refillBuffers returns every pooled record buffer to the free list.
+// Both channels are empty between sessions in every exit path; the
+// drain is a cheap invariant guard.
+func (s *specState) refillBuffers() {
+	for {
+		select {
+		case <-s.recs:
+		case <-s.free:
+		default:
+			for _, w := range s.bufs {
+				s.free <- w
+			}
+			return
+		}
+	}
+}
+
+// stopRequested reports whether the merge thread asked the session to
+// end.
+func (s *specState) stopRequested() bool {
+	s.mu.Lock()
+	v := s.stopped
+	s.mu.Unlock()
+	return v
+}
+
+// gateWait blocks until the merge thread has verified every window
+// before target, or a stop is requested. Returns false on stop.
+func (s *specState) gateWait(target int) bool {
+	s.mu.Lock()
+	for s.verified < target && !s.stopped {
+		s.cond.Wait()
+	}
+	ok := !s.stopped
+	s.mu.Unlock()
+	return ok
+}
+
+// run executes one speculation session on the worker goroutine: windows
+// of scheduler steps on the live machine, each recorded and published
+// to the merge thread, with gated checkpoints every
+// specCheckpointWindows windows. It exits after the machine is
+// exhausted (final short window) or on a stop request.
+func (t *specTask) run() {
+	r := t.r
+	s := &r.spec
+	defer func() { s.done <- struct{}{} }()
+	h := &r.heap
+	cores := r.cores
+	for win := 0; ; win++ {
+		if win > 0 && win%specCheckpointWindows == 0 {
+			if !s.gateWait(win) {
+				return
+			}
+			r.saveMachine(&s.cp, t.kind, t.nCores)
+		} else if s.stopRequested() {
+			return
+		}
+		w := <-s.free
+		recs := w.recs[:0]
+		for len(recs) < specWindowSteps && h.len() > 0 {
+			next := h.min()
+			if !cores[next].Step() {
+				h.pop()
+				recs = append(recs, specRec{core: int32(next), done: true})
+				continue
+			}
+			h.fix()
+			r.noteWarm(next, t.warmupEvents, t.nCores)
+			recs = append(recs, specRec{clock: cores[next].Cycle(), core: int32(next)})
+		}
+		n := len(recs)
+		// Deterministic fault injection: corrupt the RECORD of every
+		// chaos-th window (globally indexed — see specTask.base), never
+		// the machine. With more than one core the swapped core index
+		// cannot match the authoritative pick, so the merge thread is
+		// guaranteed to diagnose a mispredict and roll back.
+		if t.chaos > 0 && (t.base+uint64(win)+1)%uint64(t.chaos) == 0 && n >= 2 && t.nCores > 1 {
+			recs[n/2].core = (recs[n/2].core + 1) % int32(t.nCores)
+		}
+		w.recs = recs
+		s.recs <- w
+		if n < specWindowSteps {
+			return
+		}
+	}
+}
+
+// saveMachine checkpoints the full simulated machine into s, reusing
+// s's buffers. The tees are trimmed at the same instant: everything
+// served up to this point can never be replayed (no checkpoint older
+// than this one survives), while recorded-but-unserved events are kept
+// as the checkpoint's future.
+func (r *Runner) saveMachine(s *machineSnap, kind string, nCores int) {
+	r.un.Save(&s.un)
+	if cap(s.cores) < nCores {
+		s.cores = make([]cpu.Snapshot, nCores)
+	}
+	s.cores = s.cores[:nCores]
+	for i := 0; i < nCores; i++ {
+		r.cores[i].Save(&s.cores[i])
+	}
+	switch kind {
+	case KindTIFS:
+		r.tifs.Save(&s.tifs)
+	case KindFDIP:
+		s.fdip = resizeSnaps(s.fdip, nCores)
+		for i := range s.fdip {
+			r.fdip[i].Save(&s.fdip[i])
+		}
+	case KindDiscontinuity:
+		s.disc = resizeSnaps(s.disc, nCores)
+		for i := range s.disc {
+			r.disc[i].Save(&s.disc[i])
+		}
+	case KindPerfect:
+		s.perf = resizeSnaps(s.perf, nCores)
+		for i := range s.perf {
+			r.perf[i].Save(&s.perf[i])
+		}
+	case KindProb:
+		s.prob = resizeSnaps(s.prob, nCores)
+		for i := range s.prob {
+			r.prob[i].Save(&s.prob[i])
+		}
+	}
+	r.heap.saveInto(&s.heap)
+	s.warmStats = append(s.warmStats[:0], r.warmStats...)
+	s.warmPf = append(s.warmPf[:0], r.warmPf...)
+	s.warmed = append(s.warmed[:0], r.warmed...)
+	s.warmedCount = r.warmedCount
+	s.warmTraffic = r.warmTraffic
+	for i := 0; i < nCores; i++ {
+		r.spec.tees[i].trim()
+	}
+}
+
+// restoreMachine rewinds the machine to the checkpoint and rewinds the
+// tees so every event served since the save replays in order.
+func (r *Runner) restoreMachine(s *machineSnap, kind string, nCores int) {
+	r.un.Restore(&s.un)
+	for i := 0; i < nCores; i++ {
+		r.cores[i].Restore(&s.cores[i])
+	}
+	switch kind {
+	case KindTIFS:
+		r.tifs.Restore(&s.tifs)
+	case KindFDIP:
+		for i := range s.fdip {
+			r.fdip[i].Restore(&s.fdip[i])
+		}
+	case KindDiscontinuity:
+		for i := range s.disc {
+			r.disc[i].Restore(&s.disc[i])
+		}
+	case KindPerfect:
+		for i := range s.perf {
+			r.perf[i].Restore(&s.perf[i])
+		}
+	case KindProb:
+		for i := range s.prob {
+			r.prob[i].Restore(&s.prob[i])
+		}
+	}
+	s.heap.saveInto(&r.heap.keyHeap)
+	copy(r.warmStats, s.warmStats)
+	copy(r.warmPf, s.warmPf)
+	copy(r.warmed, s.warmed)
+	r.warmedCount = s.warmedCount
+	r.warmTraffic = s.warmTraffic
+	for i := 0; i < nCores; i++ {
+		r.spec.tees[i].rewind()
+	}
+}
+
+// resizeSnaps returns s with length n, reusing its backing array (and
+// the per-element buffers it holds) when possible.
+func resizeSnaps[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// eventTee wraps a core's event source, recording every served event so
+// delivery can rewind to the last checkpoint. Invariant: buf[:pos] are
+// events served since the last trim; buf[pos:] are recorded but
+// unserved (non-empty only while replaying after a rewind, when the
+// buffer holds events a discarded speculation had already pulled — they
+// remain valid future events because the underlying stream is
+// deterministic and append-only).
+type eventTee struct {
+	src   isa.EventSource
+	batch isa.BatchSource // non-nil when src supports batch refills
+	buf   []isa.BlockEvent
+	pos   int
+}
+
+// reset binds the tee to a new run's source with an empty record.
+func (t *eventTee) reset(src isa.EventSource) {
+	t.src = src
+	t.batch, _ = src.(isa.BatchSource)
+	t.buf = t.buf[:0]
+	t.pos = 0
+}
+
+// rewind replays the record from the start (rollback to the trim
+// point).
+func (t *eventTee) rewind() { t.pos = 0 }
+
+// trim drops the replayed prefix at a checkpoint, keeping any unserved
+// tail: those events are part of the checkpoint's future.
+func (t *eventTee) trim() {
+	n := copy(t.buf, t.buf[t.pos:])
+	t.buf = t.buf[:n]
+	t.pos = 0
+}
+
+// Next implements isa.EventSource: replay the record first, then pull
+// fresh events, recording them.
+func (t *eventTee) Next() (isa.BlockEvent, bool) {
+	if t.pos < len(t.buf) {
+		ev := t.buf[t.pos]
+		t.pos++
+		return ev, true
+	}
+	ev, ok := t.src.Next()
+	if !ok {
+		return isa.BlockEvent{}, false
+	}
+	t.buf = append(t.buf, ev)
+	t.pos++
+	return ev, true
+}
+
+// NextBatch implements isa.BatchSource with the same replay-then-pull
+// discipline, short only when the underlying stream is exhausted.
+func (t *eventTee) NextBatch(dst []isa.BlockEvent) int {
+	n := 0
+	if t.pos < len(t.buf) {
+		n = copy(dst, t.buf[t.pos:])
+		t.pos += n
+		if n == len(dst) {
+			return n
+		}
+	}
+	var fresh int
+	if t.batch != nil {
+		fresh = t.batch.NextBatch(dst[n:])
+	} else {
+		for n+fresh < len(dst) {
+			ev, ok := t.src.Next()
+			if !ok {
+				break
+			}
+			dst[n+fresh] = ev
+			fresh++
+		}
+	}
+	t.buf = append(t.buf, dst[n:n+fresh]...)
+	t.pos += fresh
+	return n + fresh
+}

@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"testing"
+
+	"tifs/internal/uncore"
+	"tifs/internal/workload"
+)
+
+// specless strips the speculative-tier telemetry so results can be
+// compared for byte identity of the simulation proper: Spec is the one
+// field that legitimately differs between a serial and a speculative
+// run of the same configuration.
+func specless(r Result) Result {
+	r.Spec = SpecStats{}
+	return r
+}
+
+// TestSpecByteIdentity is the core determinism guarantee of the
+// speculative merge tier: for every mechanism, running the merge loop
+// through predict/verify/commit — alone and stacked on intra-parallel
+// event generation — yields a Result identical in every field to the
+// serial schedule.
+func TestSpecByteIdentity(t *testing.T) {
+	spec, ok := workload.ByName("OLTP-DB2")
+	if !ok {
+		t.Fatal("workload missing")
+	}
+	for name, m := range testMechanisms() {
+		t.Run(name, func(t *testing.T) {
+			cfg := Config{EventsPerCore: 20_000, WarmupEvents: 5_000, Mechanism: m}
+			serial := Run(spec, workload.ScaleSmall, cfg)
+			for _, intra := range []int{0, 4} {
+				scfg := cfg
+				scfg.IntraParallelism = intra
+				scfg.Speculative = 2
+				got := Run(spec, workload.ScaleSmall, scfg)
+				if got.Spec.Windows == 0 || got.Spec.Committed != got.Spec.Windows {
+					t.Errorf("intra=%d: expected all windows committed, got %+v", intra, got.Spec)
+				}
+				if !resultsEqual(serial, specless(got)) {
+					t.Errorf("intra=%d: speculative run diverged from serial\nserial: %+v\nspec:   %+v",
+						intra, serial, specless(got))
+				}
+			}
+		})
+	}
+}
+
+// TestSpecChaosByteIdentity forces rollbacks at several cadences —
+// every window, mid-checkpoint-interval, and past a checkpoint boundary
+// — and requires byte identity to the serial schedule anyway: the
+// restore/rewind/re-execute path must reproduce the authoritative
+// machine exactly.
+func TestSpecChaosByteIdentity(t *testing.T) {
+	spec, ok := workload.ByName("OLTP-DB2")
+	if !ok {
+		t.Fatal("workload missing")
+	}
+	for _, tc := range []struct {
+		name      string
+		chaos     int
+		intra     int
+		wantLatch bool
+	}{
+		{"every-window", 1, 0, true},
+		{"mid-interval", 9, 0, false},
+		{"past-checkpoint", 20, 0, false},
+		{"with-intra", 9, 4, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{EventsPerCore: 60_000, WarmupEvents: 20_000, Mechanism: FDIP()}
+			serial := Run(spec, workload.ScaleSmall, cfg)
+			ccfg := cfg
+			ccfg.IntraParallelism = tc.intra
+			ccfg.Speculative = 2
+			ccfg.SpecChaos = tc.chaos
+			got := Run(spec, workload.ScaleSmall, ccfg)
+			if got.Spec.Rollbacks == 0 {
+				t.Fatalf("chaos=%d forced no rollbacks: %+v", tc.chaos, got.Spec)
+			}
+			if got.Spec.Latched != tc.wantLatch {
+				t.Errorf("chaos=%d: latched = %v, want %v (%+v)",
+					tc.chaos, got.Spec.Latched, tc.wantLatch, got.Spec)
+			}
+			if !resultsEqual(serial, specless(got)) {
+				t.Errorf("chaos=%d diverged from serial\nserial: %+v\nchaos:  %+v",
+					tc.chaos, serial, specless(got))
+			}
+		})
+	}
+}
+
+// TestSpecStatsDeterministic: the commit/rollback counters are derived
+// from merge-thread decisions on the deterministic schedule, so they
+// must be bit-identical across runs — including which windows chaos
+// corrupts — regardless of goroutine timing.
+func TestSpecStatsDeterministic(t *testing.T) {
+	spec, ok := workload.ByName("Web-Apache")
+	if !ok {
+		t.Fatal("workload missing")
+	}
+	cfg := Config{
+		EventsPerCore: 40_000,
+		WarmupEvents:  10_000,
+		Mechanism:     Baseline(),
+		Speculative:   2,
+		SpecChaos:     9,
+	}
+	first := Run(spec, workload.ScaleSmall, cfg)
+	for i := 0; i < 2; i++ {
+		again := Run(spec, workload.ScaleSmall, cfg)
+		if again.Spec != first.Spec {
+			t.Fatalf("run %d: spec stats diverged: %+v vs %+v", i+1, again.Spec, first.Spec)
+		}
+	}
+
+	// chaos=1 is the fully-hostile case: every window mispredicts, so
+	// the fallback latch must trip after exactly specLatchMinRollbacks
+	// rollbacks with nothing committed, and the serial tail still
+	// finishes the run.
+	cfg.SpecChaos = 1
+	hostile := Run(spec, workload.ScaleSmall, cfg)
+	if !hostile.Spec.Latched {
+		t.Errorf("chaos=1 did not latch: %+v", hostile.Spec)
+	}
+	if hostile.Spec.Rollbacks != specLatchMinRollbacks || hostile.Spec.Committed != 0 {
+		t.Errorf("chaos=1: want exactly %d rollbacks and 0 commits, got %+v",
+			specLatchMinRollbacks, hostile.Spec)
+	}
+}
+
+// TestSpecBudgetEdges exercises window termination at its boundaries: a
+// run shorter than one window, exactly one window, an exact multiple
+// (which ends with an empty terminal window), and one step past a
+// window boundary.
+func TestSpecBudgetEdges(t *testing.T) {
+	spec, ok := workload.ByName("Web-Apache")
+	if !ok {
+		t.Fatal("workload missing")
+	}
+	for _, tc := range []struct {
+		name           string
+		events, warmup uint64
+	}{
+		{"sub-window", 1_000, 200},
+		{"one-window", specWindowSteps - 512, 512},
+		{"exact-multiple", 3 * specWindowSteps, specWindowSteps},
+		{"one-past", 2*specWindowSteps - 511, 512},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{EventsPerCore: tc.events, WarmupEvents: tc.warmup, Mechanism: Baseline()}
+			serial := Run(spec, workload.ScaleSmall, cfg)
+			cfg.Speculative = 2
+			got := Run(spec, workload.ScaleSmall, cfg)
+			if !resultsEqual(serial, specless(got)) {
+				t.Errorf("%s: speculative run diverged from serial", tc.name)
+			}
+		})
+	}
+}
+
+// TestSpecPooledRunnerChurn drives one pooled Runner through serial,
+// speculative, chaos, and stacked intra+spec runs of different shapes:
+// pooled checkpoint/tee/worker state from one setting must never leak
+// into the next.
+func TestSpecPooledRunnerChurn(t *testing.T) {
+	spec, ok := workload.ByName("OLTP-DB2")
+	if !ok {
+		t.Fatal("workload missing")
+	}
+	web, ok := workload.ByName("Web-Zeus")
+	if !ok {
+		t.Fatal("workload missing")
+	}
+	cfg := Config{EventsPerCore: 15_000, WarmupEvents: 4_000, Mechanism: Baseline()}
+	r := NewRunner()
+	for _, step := range []struct {
+		spec         workload.Spec
+		speculative  int
+		chaos, intra int
+	}{
+		{spec, 0, 0, 0}, {spec, 2, 0, 0}, {web, 2, 5, 0}, {spec, 2, 0, 4},
+		{web, 0, 0, 0}, {spec, 2, 1, 0}, {spec, 0, 0, 0}, {spec, 2, 0, 0},
+	} {
+		c := cfg
+		c.Speculative = step.speculative
+		c.SpecChaos = step.chaos
+		c.IntraParallelism = step.intra
+		pooled := copyResult(r.Run(step.spec, workload.ScaleSmall, c))
+		fresh := Run(step.spec, workload.ScaleSmall, cfg)
+		if !resultsEqual(fresh, specless(pooled)) {
+			t.Errorf("%s spec=%d chaos=%d intra=%d: pooled run diverged from serial fresh run",
+				step.spec.Name, step.speculative, step.chaos, step.intra)
+		}
+	}
+}
+
+// TestSpecRaceForcedRollbacks is the adversarial concurrency sweep: a
+// single-banked, slow uncore maximizes cross-core contention (every
+// core's step contends for the same bank occupancy state), chaos forces
+// the rollback path — stop, drain, restore, rewind, serial re-execution
+// — repeatedly, and intra producers run underneath. Its value is under
+// `go test -race`; it also checks run-to-run identity of the bytes and
+// the counters.
+func TestSpecRaceForcedRollbacks(t *testing.T) {
+	spec, ok := workload.ByName("DSS-Qry17")
+	if !ok {
+		t.Fatal("workload missing")
+	}
+	cfg := Config{
+		EventsPerCore:    12_000,
+		WarmupEvents:     3_000,
+		Mechanism:        FDIP(),
+		Uncore:           uncore.Config{Banks: 1, BankBusy: 16},
+		IntraParallelism: 4,
+		Speculative:      2,
+		SpecChaos:        6,
+	}
+	r := NewRunner()
+	var first Result
+	for i := 0; i < 3; i++ {
+		got := copyResult(r.Run(spec, workload.ScaleSmall, cfg))
+		if i == 0 {
+			first = got
+			if got.Spec.Rollbacks == 0 {
+				t.Fatal("adversarial config forced no rollbacks")
+			}
+		} else if !resultsEqual(first, got) {
+			t.Fatalf("run %d diverged under forced rollbacks (spec %+v vs %+v)",
+				i, got.Spec, first.Spec)
+		}
+	}
+	serial := cfg
+	serial.IntraParallelism = 0
+	serial.Speculative = 0
+	serial.SpecChaos = 0
+	want := Run(spec, workload.ScaleSmall, serial)
+	if !resultsEqual(want, specless(first)) {
+		t.Error("adversarial speculative run diverged from serial")
+	}
+}
+
+// TestRunnerClose: Close releases the worker goroutines, is idempotent,
+// and leaves the Runner fully usable — a later run recreates workers
+// and still matches a fresh serial run.
+func TestRunnerClose(t *testing.T) {
+	spec, ok := workload.ByName("OLTP-DB2")
+	if !ok {
+		t.Fatal("workload missing")
+	}
+	cfg := Config{
+		EventsPerCore:    12_000,
+		WarmupEvents:     3_000,
+		Mechanism:        Baseline(),
+		IntraParallelism: 4,
+		Speculative:      2,
+	}
+	serial := cfg
+	serial.IntraParallelism = 0
+	serial.Speculative = 0
+	want := Run(spec, workload.ScaleSmall, serial)
+
+	r := NewRunner()
+	r.Close() // Close before any run is a no-op
+	for i := 0; i < 3; i++ {
+		got := copyResult(r.Run(spec, workload.ScaleSmall, cfg))
+		if !resultsEqual(want, specless(got)) {
+			t.Fatalf("cycle %d: run after Close diverged", i)
+		}
+		r.Close()
+		r.Close() // idempotent
+	}
+}

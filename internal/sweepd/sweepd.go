@@ -110,6 +110,13 @@ type JobRequest struct {
 	// it is deliberately excluded from the canonical key: submissions
 	// differing only here collapse onto one job.
 	IntraParallelism int `json:"intra_parallelism,omitempty"`
+
+	// Speculative engages the speculative merge tier inside each
+	// simulation (>= 2 runs a predict/verify/commit worker ahead of
+	// the merge thread; 0/1 = serial). Like IntraParallelism it never
+	// changes output bytes, so it too is excluded from the canonical
+	// key.
+	Speculative int `json:"speculative,omitempty"`
 }
 
 // Event is one progress notification on a job's stream.
@@ -251,7 +258,8 @@ func New(cfg Config) *Service {
 func (s *Service) Engine() *engine.Engine { return s.eng }
 
 // Close stops admitting work, fails everything still queued, cancels
-// running jobs, and waits for them to unwind.
+// running jobs, waits for them to unwind, and releases the shared
+// engine's pooled simulation machines (the service owns its engine).
 func (s *Service) Close() {
 	s.cancel()
 	s.mu.Lock()
@@ -273,6 +281,7 @@ func (s *Service) Close() {
 		s.cond.Wait()
 	}
 	s.mu.Unlock()
+	s.eng.Close()
 }
 
 // job is one admitted submission and its progress log.
@@ -396,6 +405,9 @@ func canonicalize(req JobRequest) (JobRequest, workload.Scale, string, error) {
 	}
 	if req.IntraParallelism < 0 {
 		req.IntraParallelism = 0
+	}
+	if req.Speculative < 0 {
+		req.Speculative = 0
 	}
 
 	if req.Workload != "" || req.Mechanism != "" {
@@ -607,6 +619,7 @@ func (s *Service) runSweep(j *job) (string, error) {
 		Context: s.ctx, Scale: j.scale, Events: j.req.Events, Cores: j.req.Cores,
 		Workloads: j.req.Workloads, Engine: s.eng,
 		IntraParallelism: j.req.IntraParallelism,
+		Speculative:      j.req.Speculative,
 	}
 	return experiments.RunSelected(j.req.Experiments, o, func(id string, done bool) {
 		if done {
@@ -629,12 +642,14 @@ func (s *Service) runSimulation(j *job) (string, error) {
 	jobs := []engine.Job{{Spec: spec, Scale: j.scale, Config: sim.Config{
 		Cores: j.req.Cores, EventsPerCore: j.req.Events, Mechanism: mech,
 		IntraParallelism: j.req.IntraParallelism,
+		Speculative:      j.req.Speculative,
 	}}}
 	withBaseline := j.req.Baseline && mech.Kind != sim.KindNone
 	if withBaseline {
 		jobs = append(jobs, engine.Job{Spec: spec, Scale: j.scale, Config: sim.Config{
 			Cores: j.req.Cores, EventsPerCore: j.req.Events, Mechanism: sim.Baseline(),
 			IntraParallelism: j.req.IntraParallelism,
+			Speculative:      j.req.Speculative,
 		}})
 	}
 	results := s.eng.RunAll(s.ctx, jobs)
